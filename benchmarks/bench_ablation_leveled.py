@@ -1,0 +1,50 @@
+"""Ablation: leveled experimentation vs single-run profiling (Sec. III-C).
+
+A single all-levels run inflates the model latency by the full profiling
+overhead; leveled experimentation recovers the accurate latency from the
+M-only rung.  This bench quantifies the error a naive single-run design
+would make.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import LeveledExperiment, M, MLG, ProfilingConfig, XSPSession
+from repro.models import get_model
+
+BATCH = 64
+
+
+@pytest.fixture(scope="module")
+def session():
+    return XSPSession("Tesla_V100", "tensorflow_like")
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return get_model(7).graph
+
+
+def test_leveled_ladder(benchmark, session, graph):
+    experiment = LeveledExperiment(session, runs_per_level=1)
+    leveled = benchmark.pedantic(
+        experiment.run, args=(graph, BATCH), rounds=1, iterations=1
+    )
+    truth = leveled.model_latency_ms
+    naive = leveled.predict_latency_at("M/L/G")
+    # The naive single-run design overstates model latency massively;
+    # leveled experimentation reads it from the M rung.
+    assert naive > 1.5 * truth
+    overheads = leveled.overhead_ladder()
+    assert overheads["M/L"] > 0 and overheads["M/L/G"] > 0
+
+
+def test_single_run_all_levels(benchmark, session, graph):
+    config = ProfilingConfig(levels=MLG, metrics=())
+    run = benchmark.pedantic(
+        session.profile, args=(graph, BATCH, config), rounds=1, iterations=1
+    )
+    baseline = session.profile(graph, BATCH, ProfilingConfig(levels=M,
+                                                             metrics=()))
+    assert run.model_latency_ms > baseline.model_latency_ms

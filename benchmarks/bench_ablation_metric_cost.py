@@ -1,0 +1,64 @@
+"""Ablation: GPU metric collection cost (kernel replay, Sec. III-C).
+
+Quantifies the run-time cost of each metric set on the profiled
+application: timeline-only capture is cheap; flop counters add ~nothing;
+DRAM byte counters force tens of replay passes (the paper reports >100x
+slowdowns for memory metrics).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MLG, ProfilingConfig, XSPSession
+from repro.models import get_model
+
+BATCH = 32
+
+
+@pytest.fixture(scope="module")
+def session():
+    return XSPSession("Tesla_V100", "tensorflow_like")
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return get_model(7).graph
+
+
+def _profiled_latency(session, graph, metrics):
+    run = session.profile(
+        graph, BATCH, ProfilingConfig(levels=MLG, metrics=tuple(metrics))
+    )
+    return run.model_latency_ms
+
+
+def test_timeline_only(benchmark, session, graph):
+    latency = benchmark.pedantic(
+        _profiled_latency, args=(session, graph, ()), rounds=1, iterations=1
+    )
+    assert latency > 0
+
+
+def test_flop_counters(benchmark, session, graph):
+    latency = benchmark.pedantic(
+        _profiled_latency,
+        args=(session, graph, ("flop_count_sp", "achieved_occupancy")),
+        rounds=1, iterations=1,
+    )
+    baseline = _profiled_latency(session, graph, ())
+    assert latency < 1.6 * baseline  # flop counters are nearly free
+
+
+def test_dram_counters_cause_replay_blowup(benchmark, session, graph):
+    latency = benchmark.pedantic(
+        _profiled_latency,
+        args=(session, graph,
+              ("flop_count_sp", "dram_read_bytes", "dram_write_bytes",
+               "achieved_occupancy")),
+        rounds=1, iterations=1,
+    )
+    baseline = _profiled_latency(session, graph, ())
+    # Virtual-time slowdown of the profiled application (paper: >100x
+    # possible; ours lands in the tens for this metric set).
+    assert latency > 10 * baseline

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Fig. 2 leveled experimentation ladder."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import EXPERIMENTS
+
+
+def test_fig02(benchmark):
+    result = run_experiment(benchmark, EXPERIMENTS["fig02"], rounds=1)
+    print()
+    print(result.render())

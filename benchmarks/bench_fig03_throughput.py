@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Fig. 3 throughput across batch sizes."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import EXPERIMENTS
+
+
+def test_fig03(benchmark):
+    result = run_experiment(benchmark, EXPERIMENTS["fig03"], rounds=1)
+    print()
+    print(result.render())

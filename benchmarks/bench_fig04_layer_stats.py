@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Fig. 4 layer type statistics (A5/A6/A7)."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import EXPERIMENTS
+
+
+def test_fig04(benchmark):
+    result = run_experiment(benchmark, EXPERIMENTS["fig04"], rounds=3)
+    print()
+    print(result.render())

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Fig. 5 per-layer latency/memory series (A3/A4)."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import EXPERIMENTS
+
+
+def test_fig05(benchmark):
+    result = run_experiment(benchmark, EXPERIMENTS["fig05"], rounds=3)
+    print()
+    print(result.render())

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Fig. 6 kernel roofline (A9)."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import EXPERIMENTS
+
+
+def test_fig06(benchmark):
+    result = run_experiment(benchmark, EXPERIMENTS["fig06"], rounds=3)
+    print()
+    print(result.render())

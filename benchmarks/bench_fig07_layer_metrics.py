@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Fig. 7 per-layer GPU metrics (A12)."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import EXPERIMENTS
+
+
+def test_fig07(benchmark):
+    result = run_experiment(benchmark, EXPERIMENTS["fig07"], rounds=3)
+    print()
+    print(result.render())

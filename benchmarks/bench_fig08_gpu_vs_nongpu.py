@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Fig. 8 GPU vs non-GPU latency (A13)."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import EXPERIMENTS
+
+
+def test_fig08(benchmark):
+    result = run_experiment(benchmark, EXPERIMENTS["fig08"], rounds=3)
+    print()
+    print(result.render())

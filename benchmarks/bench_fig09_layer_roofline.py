@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Fig. 9 layer roofline (A14)."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import EXPERIMENTS
+
+
+def test_fig09(benchmark):
+    result = run_experiment(benchmark, EXPERIMENTS["fig09"], rounds=3)
+    print()
+    print(result.render())

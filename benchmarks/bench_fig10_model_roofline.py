@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Fig. 10 model roofline across batches (A15)."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import EXPERIMENTS
+
+
+def test_fig10(benchmark):
+    result = run_experiment(benchmark, EXPERIMENTS["fig10"], rounds=1)
+    print()
+    print(result.render())

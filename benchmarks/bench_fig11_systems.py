@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Fig. 11 five-system comparison."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import EXPERIMENTS
+
+
+def test_fig11(benchmark):
+    result = run_experiment(benchmark, EXPERIMENTS["fig11"], rounds=1)
+    print()
+    print(result.render())

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Fig. 12 roofline of 37 IC models."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import EXPERIMENTS
+
+
+def test_fig12(benchmark):
+    result = run_experiment(benchmark, EXPERIMENTS["fig12"], rounds=1)
+    print()
+    print(result.render())

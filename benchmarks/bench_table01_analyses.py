@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Table I capability matrix."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import EXPERIMENTS
+
+
+def test_table01(benchmark):
+    result = run_experiment(benchmark, EXPERIMENTS["table01"], rounds=5)
+    print()
+    print(result.render())

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Table II top-5 layers (A2)."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import EXPERIMENTS
+
+
+def test_table02(benchmark):
+    result = run_experiment(benchmark, EXPERIMENTS["table02"], rounds=3)
+    print()
+    print(result.render())

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Table III top-5 kernels (A8)."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import EXPERIMENTS
+
+
+def test_table03(benchmark):
+    result = run_experiment(benchmark, EXPERIMENTS["table03"], rounds=3)
+    print()
+    print(result.render())

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Table IV kernels by name (A10)."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import EXPERIMENTS
+
+
+def test_table04(benchmark):
+    result = run_experiment(benchmark, EXPERIMENTS["table04"], rounds=3)
+    print()
+    print(result.render())

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Table V kernels by layer (A11)."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import EXPERIMENTS
+
+
+def test_table05(benchmark):
+    result = run_experiment(benchmark, EXPERIMENTS["table05"], rounds=3)
+    print()
+    print(result.render())

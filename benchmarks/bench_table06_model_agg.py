@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Table VI model aggregate across batches (A15)."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import EXPERIMENTS
+
+
+def test_table06(benchmark):
+    result = run_experiment(benchmark, EXPERIMENTS["table06"], rounds=1)
+    print()
+    print(result.render())

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Table VII system catalog."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import EXPERIMENTS
+
+
+def test_table07(benchmark):
+    result = run_experiment(benchmark, EXPERIMENTS["table07"], rounds=5)
+    print()
+    print(result.render())

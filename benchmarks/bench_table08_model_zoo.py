@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Table VIII 55-model characterization."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import EXPERIMENTS
+
+
+def test_table08(benchmark):
+    result = run_experiment(benchmark, EXPERIMENTS["table08"], rounds=1)
+    print()
+    print(result.render())

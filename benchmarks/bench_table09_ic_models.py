@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Table IX in-depth IC characterization."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import EXPERIMENTS
+
+
+def test_table09(benchmark):
+    result = run_experiment(benchmark, EXPERIMENTS["table09"], rounds=1)
+    print()
+    print(result.render())

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Table X MXNet vs TensorFlow."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import EXPERIMENTS
+
+
+def test_table10(benchmark):
+    result = run_experiment(benchmark, EXPERIMENTS["table10"], rounds=1)
+    print()
+    print(result.render())

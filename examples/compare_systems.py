@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""System comparison: one model across the five Table VII GPUs (Sec. IV-C).
+
+Shows the Fig. 11 shape — throughput/latency scaling across batch sizes
+differs per system — and the kernel-name divergence across GPU
+generations (volta_scudnn_* vs maxwell_scudnn_*) that XSP's kernel-level
+profile exposes.
+
+    python examples/compare_systems.py [model_name_or_id]
+"""
+
+import sys
+
+from repro import AnalysisPipeline, XSPSession
+from repro.models import get_model
+from repro.sim import SYSTEMS
+from repro.workloads import throughput_curve
+
+BATCHES = [1, 8, 64, 256]
+
+
+def main() -> None:
+    key = sys.argv[1] if len(sys.argv) > 1 else "MLPerf_ResNet50_v1.5"
+    entry = get_model(int(key) if key.isdigit() else key)
+    print(f"=== {entry.name} across systems ===")
+    header = f"{'system':<12}" + "".join(f"{b:>10}" for b in BATCHES)
+    print(header + "   (inputs/s per batch size)")
+
+    for system in SYSTEMS:
+        session = XSPSession(system, "tensorflow_like")
+        curve = throughput_curve(session, entry.graph, BATCHES, runs=2)
+        tput = curve.throughputs
+        row = f"{system:<12}" + "".join(
+            f"{tput.get(b, float('nan')):>10.1f}" for b in BATCHES
+        )
+        print(row)
+
+    print()
+    print("convolution kernels dispatched per architecture (batch 256):")
+    for system in ("Tesla_V100", "Tesla_P100"):
+        profile = AnalysisPipeline(
+            XSPSession(system, "tensorflow_like"), runs_per_level=1
+        ).profile_model(entry.graph, 256)
+        conv_kernels = sorted({
+            k.name for k in profile.kernels
+            if "scudnn" in k.name or "cgemm" in k.name
+            or "convolve" in k.name
+        })
+        print(f"  {system}:")
+        for name in conv_kernels:
+            print(f"    {name}")
+
+
+if __name__ == "__main__":
+    main()

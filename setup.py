@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+Keeps ``pip install -e . --no-build-isolation`` and
+``python setup.py develop`` working on offline machines whose setuptools
+predates PEP 660 editable wheels (the project metadata lives in
+pyproject.toml).
+"""
+
+from setuptools import setup
+
+setup()

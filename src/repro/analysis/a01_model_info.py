@@ -1,0 +1,72 @@
+"""A1 — model information table (model-level profiling only).
+
+Latency and throughput across batch sizes, plus the optimal-batch-size
+rule: "XSP computes the optimal batch size by evaluating the model across
+batch sizes and selecting the batch size where doubling it does not
+increase the model's throughput by more than 5%" (Sec. III-D1, Fig. 3).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.analysis.tables import Column, Table
+
+
+def throughputs(latencies_ms: Mapping[int, float]) -> dict[int, float]:
+    """inputs/second per batch size."""
+    return {b: b / (ms / 1e3) for b, ms in latencies_ms.items() if ms > 0}
+
+
+def optimal_batch_size(
+    latencies_ms: Mapping[int, float], threshold: float = 0.05
+) -> int:
+    """Smallest batch size whose doubling gains <= ``threshold`` throughput."""
+    if not latencies_ms:
+        raise ValueError("optimal_batch_size needs at least one batch size")
+    tput = throughputs(latencies_ms)
+    for batch in sorted(tput):
+        double = batch * 2
+        if double in tput and tput[double] <= tput[batch] * (1.0 + threshold):
+            return batch
+    return max(tput)
+
+
+def optimal_batch_for_latency_target(
+    latencies_ms: Mapping[int, float], target_ms: float
+) -> int | None:
+    """Largest measured batch size meeting a user-defined latency target.
+
+    Sec. III-D1: "XSP then computes the model's optimal batch size given
+    a user-defined metric (e.g. a latency target)."  Returns None when
+    even batch 1 misses the target.
+    """
+    if target_ms <= 0:
+        raise ValueError(f"latency target must be positive, got {target_ms}")
+    feasible = [b for b, ms in latencies_ms.items() if ms <= target_ms]
+    return max(feasible) if feasible else None
+
+
+def model_information_table(
+    latencies_ms: Mapping[int, float], *, model_name: str = "", system: str = ""
+) -> Table:
+    """The A1 table: one row per batch size + optimal-batch marker."""
+    tput = throughputs(latencies_ms)
+    optimal = optimal_batch_size(latencies_ms)
+    table = Table(
+        title=f"A1 model information: {model_name} on {system}".strip().rstrip(":"),
+        columns=[
+            Column("batch", "Batch Size", "d"),
+            Column("latency_ms", "Latency (ms)", ".2f"),
+            Column("throughput", "Throughput (inputs/s)", ".1f"),
+            Column("optimal", "Optimal?"),
+        ],
+    )
+    for batch in sorted(latencies_ms):
+        table.add(
+            batch=batch,
+            latency_ms=latencies_ms[batch],
+            throughput=tput.get(batch, 0.0),
+            optimal=batch == optimal,
+        )
+    return table

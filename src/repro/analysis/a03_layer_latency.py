@@ -1,0 +1,16 @@
+"""A3 — per-layer latency in execution order (paper Fig. 5a)."""
+
+from __future__ import annotations
+
+from repro.analysis.stages import dominant_stage
+from repro.core.pipeline import ModelProfile
+
+
+def layer_latency_series(profile: ModelProfile) -> list[tuple[int, float]]:
+    """(layer index, latency ms) in execution order."""
+    return [(layer.index, layer.latency_ms) for layer in profile.layers]
+
+
+def latency_stage(profile: ModelProfile) -> str:
+    """Which execution interval (beginning/middle/end) dominates latency."""
+    return dominant_stage(profile, lambda layer: layer.latency_ms)

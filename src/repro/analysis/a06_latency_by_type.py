@@ -1,0 +1,49 @@
+"""A6 — layer latency aggregated by type (paper Fig. 4b).
+
+Also provides the "percentage of model latency attributed to convolution
+layers" metric used throughout the paper's Table VIII (its last column:
+Conv2D + DepthwiseConv2dNative share of total layer latency).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.analysis.tables import Column, Table
+from repro.core.pipeline import ModelProfile
+
+#: TF layer types counted as convolution by the paper.
+CONV_TYPES = ("Conv2D", "DepthwiseConv2dNative", "Convolution")
+
+
+def latency_by_type(profile: ModelProfile) -> Table:
+    totals: dict[str, float] = defaultdict(float)
+    for layer in profile.layers:
+        totals[layer.layer_type] += layer.latency_ms
+    grand = sum(totals.values())
+    table = Table(
+        title=f"A6 layer latency by type: {profile.model_name}",
+        columns=[
+            Column("layer_type", "Layer Type", align="<"),
+            Column("latency_ms", "Latency (ms)", ".2f"),
+            Column("percentage", "Percentage (%)", ".2f"),
+        ],
+    )
+    for layer_type, latency in sorted(totals.items(), key=lambda kv: -kv[1]):
+        table.add(
+            layer_type=layer_type,
+            latency_ms=latency,
+            percentage=100.0 * latency / grand if grand else 0.0,
+        )
+    return table
+
+
+def convolution_latency_percentage(profile: ModelProfile) -> float:
+    """Table VIII last column: convolution share of total layer latency."""
+    conv = sum(
+        layer.latency_ms
+        for layer in profile.layers
+        if layer.layer_type in CONV_TYPES
+    )
+    total = sum(layer.latency_ms for layer in profile.layers)
+    return 100.0 * conv / total if total else 0.0

@@ -1,0 +1,54 @@
+"""A8 — GPU kernel information table (paper Table III).
+
+Every kernel invocation with its layer correlation, latency, flops, DRAM
+reads/writes, achieved occupancy, arithmetic intensity/throughput, and
+memory-boundedness.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import Column, Table
+from repro.core.pipeline import ModelProfile
+
+
+def kernel_information_table(profile: ModelProfile) -> Table:
+    gpu = profile.gpu
+    table = Table(
+        title=f"A8 GPU kernel information: {profile.model_name} "
+        f"(batch {profile.batch}) on {profile.system}",
+        columns=[
+            Column("name", "Kernel Name", align="<"),
+            Column("layer_index", "Layer Index", "d"),
+            Column("latency_ms", "Kernel Latency (ms)", ".2f"),
+            Column("gflops", "Kernel Gflops", ".2f"),
+            Column("dram_read_mb", "DRAM Reads (MB)", ".2f"),
+            Column("dram_write_mb", "DRAM Writes (MB)", ".2f"),
+            Column("occupancy_pct", "Achieved Occupancy (%)", ".2f"),
+            Column("arithmetic_intensity", "Arithmetic Intensity", ".2f"),
+            Column("throughput_tflops", "Throughput (Tflops/s)", ".2f"),
+            Column("memory_bound", "Memory Bound?"),
+        ],
+    )
+    for kernel in profile.kernels:
+        table.add(
+            name=kernel.name,
+            layer_index=kernel.layer_index,
+            latency_ms=kernel.latency_ms,
+            gflops=kernel.flops / 1e9,
+            dram_read_mb=kernel.dram_read_bytes / 1e6,
+            dram_write_mb=kernel.dram_write_bytes / 1e6,
+            occupancy_pct=100.0 * kernel.achieved_occupancy,
+            arithmetic_intensity=kernel.arithmetic_intensity,
+            throughput_tflops=kernel.arithmetic_throughput_tflops,
+            memory_bound=kernel.memory_bound(gpu),
+        )
+    return table
+
+
+def top_kernels(profile: ModelProfile, n: int = 5) -> Table:
+    """The paper's Table III: top-N most time-consuming kernel calls."""
+    return (
+        kernel_information_table(profile)
+        .sorted_by("latency_ms", reverse=True)
+        .head(n)
+    )

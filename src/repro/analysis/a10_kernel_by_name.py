@@ -1,0 +1,67 @@
+"""A10 — GPU kernel information aggregated by name (paper Table IV).
+
+Latency/flops/DRAM are summed over all instances of a kernel name; the
+achieved occupancy is the latency-weighted mean; arithmetic intensity and
+throughput are recomputed from the aggregated totals — exactly the
+aggregation rules of Sec. III-D3.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.analysis.tables import Column, Table
+from repro.core.pipeline import KernelProfile, ModelProfile
+
+
+def kernel_by_name_table(profile: ModelProfile) -> Table:
+    gpu = profile.gpu
+    groups: dict[str, list[KernelProfile]] = defaultdict(list)
+    for kernel in profile.kernels:
+        groups[kernel.name].append(kernel)
+    total_latency = profile.kernel_latency_ms
+    model_latency = profile.model_latency_ms
+
+    table = Table(
+        title=f"A10 GPU kernels aggregated by name: {profile.model_name} "
+        f"(batch {profile.batch}) on {profile.system}",
+        columns=[
+            Column("name", "Kernel Name", align="<"),
+            Column("count", "Count", "d"),
+            Column("latency_ms", "Latency (ms)", ".2f"),
+            Column("latency_pct", "Latency (%)", ".2f"),
+            Column("gflops", "Gflops", ".2f"),
+            Column("dram_read_mb", "DRAM Reads (MB)", ".2f"),
+            Column("dram_write_mb", "DRAM Writes (MB)", ".2f"),
+            Column("occupancy_pct", "Achieved Occupancy (%)", ".2f"),
+            Column("arithmetic_intensity", "Arithmetic Intensity", ".2f"),
+            Column("throughput_tflops", "Throughput (Tflops/s)", ".2f"),
+            Column("memory_bound", "Memory Bound?"),
+        ],
+    )
+    for name, kernels in groups.items():
+        latency = sum(k.latency_ms for k in kernels)
+        flops = sum(k.flops for k in kernels)
+        reads = sum(k.dram_read_bytes for k in kernels)
+        writes = sum(k.dram_write_bytes for k in kernels)
+        occupancy = (
+            sum(k.achieved_occupancy * k.latency_ms for k in kernels) / latency
+            if latency
+            else 0.0
+        )
+        intensity = flops / (reads + writes) if reads + writes else 0.0
+        table.add(
+            name=name,
+            count=len(kernels),
+            latency_ms=latency,
+            latency_pct=100.0 * latency / model_latency if model_latency else 0.0,
+            gflops=flops / 1e9,
+            dram_read_mb=reads / 1e6,
+            dram_write_mb=writes / 1e6,
+            occupancy_pct=100.0 * occupancy,
+            arithmetic_intensity=intensity,
+            throughput_tflops=flops / (latency / 1e3) / 1e12 if latency else 0.0,
+            memory_bound=intensity < gpu.ideal_arithmetic_intensity,
+        )
+    del total_latency
+    return table.sorted_by("latency_ms", reverse=True)

@@ -1,0 +1,52 @@
+"""A11 — GPU kernel information aggregated by layer (paper Table V).
+
+Requires the layer/kernel correlation only XSP provides: "A layer's kernel
+latency, flops, DRAM reads and writes are calculated by adding the
+corresponding values of all the kernels invoked by that layer."
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import Column, Table
+from repro.core.pipeline import ModelProfile
+
+
+def kernel_by_layer_table(profile: ModelProfile) -> Table:
+    gpu = profile.gpu
+    table = Table(
+        title=f"A11 GPU kernels aggregated by layer: {profile.model_name} "
+        f"(batch {profile.batch}) on {profile.system}",
+        columns=[
+            Column("index", "Layer Index", "d"),
+            Column("latency_ms", "Layer Latency (ms)", ".2f"),
+            Column("kernel_latency_ms", "Kernel Latency (ms)", ".2f"),
+            Column("gflops", "Layer Gflops", ".2f"),
+            Column("dram_read_mb", "DRAM Reads (MB)", ".2f"),
+            Column("dram_write_mb", "DRAM Writes (MB)", ".2f"),
+            Column("occupancy_pct", "Achieved Occupancy (%)", ".2f"),
+            Column("arithmetic_intensity", "Arithmetic Intensity", ".2f"),
+            Column("throughput_tflops", "Throughput (Tflops/s)", ".2f"),
+            Column("memory_bound", "Memory Bound?"),
+        ],
+    )
+    for layer in profile.layers:
+        if not layer.kernels:
+            continue
+        table.add(
+            index=layer.index,
+            latency_ms=layer.latency_ms,
+            kernel_latency_ms=layer.kernel_latency_ms,
+            gflops=layer.flops / 1e9,
+            dram_read_mb=layer.dram_read_bytes / 1e6,
+            dram_write_mb=layer.dram_write_bytes / 1e6,
+            occupancy_pct=100.0 * layer.achieved_occupancy,
+            arithmetic_intensity=layer.arithmetic_intensity,
+            throughput_tflops=layer.arithmetic_throughput_tflops,
+            memory_bound=layer.memory_bound(gpu),
+        )
+    return table
+
+
+def top_layers_by_kernels(profile: ModelProfile, n: int = 5) -> Table:
+    """The paper's Table V: kernel aggregates for the top-N layers."""
+    return kernel_by_layer_table(profile).sorted_by("latency_ms", reverse=True).head(n)

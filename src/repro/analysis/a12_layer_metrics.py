@@ -1,0 +1,33 @@
+"""A12 — GPU metrics aggregated per layer (paper Fig. 7).
+
+Total flops, DRAM reads, and DRAM writes per layer in execution order;
+requires the layer/kernel correlation.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stages import dominant_stage
+from repro.core.pipeline import ModelProfile
+
+
+def layer_flops_series(profile: ModelProfile) -> list[tuple[int, float]]:
+    """(layer index, Gflops)."""
+    return [(layer.index, layer.flops / 1e9) for layer in profile.layers]
+
+
+def layer_dram_read_series(profile: ModelProfile) -> list[tuple[int, float]]:
+    """(layer index, DRAM reads MB)."""
+    return [(layer.index, layer.dram_read_bytes / 1e6) for layer in profile.layers]
+
+
+def layer_dram_write_series(profile: ModelProfile) -> list[tuple[int, float]]:
+    """(layer index, DRAM writes MB)."""
+    return [(layer.index, layer.dram_write_bytes / 1e6) for layer in profile.layers]
+
+
+def flops_stage(profile: ModelProfile) -> str:
+    return dominant_stage(profile, lambda layer: layer.flops)
+
+
+def memory_access_stage(profile: ModelProfile) -> str:
+    return dominant_stage(profile, lambda layer: layer.dram_bytes)

@@ -1,0 +1,53 @@
+"""A13 — GPU vs non-GPU latency per layer (paper Fig. 8).
+
+"Subtracting a layer's total GPU kernel latency from its overall latency
+computes the time not spent performing GPU computation" — framework
+overhead, stalls, synchronization.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import Column, Table
+from repro.core.pipeline import ModelProfile
+
+
+def gpu_vs_nongpu_series(
+    profile: ModelProfile,
+) -> list[tuple[int, float, float]]:
+    """(layer index, normalized GPU share, normalized non-GPU share)."""
+    out = []
+    for layer in profile.layers:
+        if layer.latency_ms <= 0:
+            out.append((layer.index, 0.0, 0.0))
+            continue
+        gpu_share = min(1.0, layer.kernel_latency_ms / layer.latency_ms)
+        out.append((layer.index, gpu_share, 1.0 - gpu_share))
+    return out
+
+
+def gpu_vs_nongpu_table(profile: ModelProfile) -> Table:
+    table = Table(
+        title=f"A13 GPU vs non-GPU latency: {profile.model_name}",
+        columns=[
+            Column("index", "Layer Index", "d"),
+            Column("latency_ms", "Layer Latency (ms)", ".3f"),
+            Column("gpu_ms", "GPU (ms)", ".3f"),
+            Column("non_gpu_ms", "Non-GPU (ms)", ".3f"),
+            Column("gpu_pct", "GPU (%)", ".1f"),
+        ],
+    )
+    for layer in profile.layers:
+        gpu_ms = layer.kernel_latency_ms
+        table.add(
+            index=layer.index,
+            latency_ms=layer.latency_ms,
+            gpu_ms=gpu_ms,
+            non_gpu_ms=layer.non_gpu_latency_ms,
+            gpu_pct=100.0 * gpu_ms / layer.latency_ms if layer.latency_ms else 0.0,
+        )
+    return table
+
+
+def model_non_gpu_latency_ms(profile: ModelProfile) -> float:
+    """Total model time not attributable to GPU kernels."""
+    return max(0.0, profile.model_latency_ms - profile.kernel_latency_ms)

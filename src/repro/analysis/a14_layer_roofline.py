@@ -1,0 +1,41 @@
+"""A14 — layer roofline analysis (paper Fig. 9).
+
+Conv2D/MatMul layers are compute-bound; Add/Mul/Relu element-wise layers
+are memory-bound.  Requires the layer/kernel correlation.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.roofline import RooflinePoint
+from repro.core.pipeline import ModelProfile
+
+
+def layer_roofline(profile: ModelProfile) -> list[RooflinePoint]:
+    return [
+        RooflinePoint(
+            label=f"{layer.index}:{layer.layer_type}",
+            arithmetic_intensity=layer.arithmetic_intensity,
+            arithmetic_throughput_tflops=layer.arithmetic_throughput_tflops,
+            latency_ms=layer.latency_ms,
+        )
+        for layer in profile.layers
+        if layer.kernels and layer.dram_bytes > 0
+    ]
+
+
+def bound_by_layer_type(profile: ModelProfile) -> dict[str, str]:
+    """Majority roofline classification per layer type."""
+    gpu = profile.gpu
+    votes: dict[str, list[bool]] = {}
+    for layer in profile.layers:
+        if not layer.kernels or layer.dram_bytes == 0:
+            continue
+        votes.setdefault(layer.layer_type, []).append(layer.memory_bound(gpu))
+    return {
+        layer_type: (
+            "memory-bound"
+            if sum(flags) > len(flags) / 2
+            else "compute-bound"
+        )
+        for layer_type, flags in votes.items()
+    }

@@ -1,0 +1,67 @@
+"""A15 — GPU kernel information aggregated per model (paper Table VI, Fig. 10).
+
+Model-level totals of kernel latency, flops and DRAM traffic; the
+latency-weighted achieved occupancy; and the whole-model roofline
+classification across batch sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.analysis.roofline import RooflinePoint
+from repro.analysis.tables import Column, Table
+from repro.core.pipeline import ModelProfile
+
+
+def model_aggregate_row(profile: ModelProfile) -> dict[str, object]:
+    return {
+        "batch": profile.batch,
+        "model_latency_ms": profile.model_latency_ms,
+        "kernel_latency_ms": profile.kernel_latency_ms,
+        "gflops": profile.flops / 1e9,
+        "dram_read_mb": profile.dram_read_bytes / 1e6,
+        "dram_write_mb": profile.dram_write_bytes / 1e6,
+        "occupancy_pct": 100.0 * profile.achieved_occupancy,
+        "arithmetic_intensity": profile.arithmetic_intensity,
+        "throughput_tflops": profile.arithmetic_throughput_tflops,
+        "memory_bound": profile.memory_bound,
+    }
+
+
+def model_aggregate_table(
+    sweep: Mapping[int, ModelProfile], *, model_name: str = "", system: str = ""
+) -> Table:
+    """The paper's Table VI: one row per batch size."""
+    table = Table(
+        title=f"A15 model aggregate across batch sizes: {model_name} on {system}",
+        columns=[
+            Column("batch", "Batch Size", "d"),
+            Column("model_latency_ms", "Model Latency (ms)", ".2f"),
+            Column("kernel_latency_ms", "Kernel Latency (ms)", ".2f"),
+            Column("gflops", "Model Gflops", ".2f"),
+            Column("dram_read_mb", "DRAM Reads (MB)", ".2f"),
+            Column("dram_write_mb", "DRAM Writes (MB)", ".2f"),
+            Column("occupancy_pct", "Achieved Occupancy (%)", ".2f"),
+            Column("arithmetic_intensity", "Arithmetic Intensity", ".2f"),
+            Column("memory_bound", "Memory Bound?"),
+        ],
+    )
+    for batch in sorted(sweep):
+        table.add(**model_aggregate_row(sweep[batch]))
+    return table
+
+
+def model_roofline_points(
+    sweep: Mapping[int, ModelProfile]
+) -> list[RooflinePoint]:
+    """Fig. 10: the model's roofline position per batch size."""
+    return [
+        RooflinePoint(
+            label=f"bs{batch}",
+            arithmetic_intensity=sweep[batch].arithmetic_intensity,
+            arithmetic_throughput_tflops=sweep[batch].arithmetic_throughput_tflops,
+            latency_ms=sweep[batch].model_latency_ms,
+        )
+        for batch in sorted(sweep)
+    ]

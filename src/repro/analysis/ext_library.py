@@ -1,0 +1,51 @@
+"""Extension analysis: ML-library API-call table (paper Sec. III-E).
+
+With the LIBRARY profiling level enabled ("one can add a ML library
+profiling level between the layer- and GPU kernel-level to measure the
+cuDNN API calls"), this analysis aggregates the captured API-call spans
+by name — the library-level analog of A10.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.analysis.tables import Column, Table
+from repro.core.session import ProfiledRun
+from repro.tracing.span import Level
+
+
+def library_call_table(run: ProfiledRun) -> Table:
+    """Aggregate LIBRARY-level spans by API name."""
+    spans = run.trace.at_level(Level.LIBRARY)
+    if not spans:
+        raise ValueError(
+            "no LIBRARY-level spans in this trace; profile with the "
+            "MLLibG level set (repro.core.MLLibG) to capture API calls"
+        )
+    groups: dict[str, list] = defaultdict(list)
+    for span in spans:
+        groups[span.name].append(span)
+    total_ms = sum(s.duration_ms for s in spans)
+
+    table = Table(
+        title=f"Library API calls: {run.trace.metadata.get('model', '?')} "
+        f"(batch {run.batch}) on {run.system}",
+        columns=[
+            Column("api", "API Call", align="<"),
+            Column("count", "Count", "d"),
+            Column("latency_ms", "Host Latency (ms)", ".3f"),
+            Column("latency_pct", "Share (%)", ".1f"),
+            Column("kernels", "Kernels Launched", "d"),
+        ],
+    )
+    for api, api_spans in groups.items():
+        latency = sum(s.duration_ms for s in api_spans)
+        table.add(
+            api=api,
+            count=len(api_spans),
+            latency_ms=latency,
+            latency_pct=100.0 * latency / total_ms if total_ms else 0.0,
+            kernels=sum(s.tags.get("n_kernels", 0) for s in api_spans),
+        )
+    return table.sorted_by("latency_ms", reverse=True)

@@ -1,0 +1,111 @@
+"""Terminal plots: ASCII roofline scatter and series charts.
+
+The paper's figures are matplotlib plots; this reproduction renders the
+same data as terminal graphics so reports and examples remain
+dependency-free and diffable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.analysis.roofline import RooflinePoint
+from repro.sim.hardware import GPUSpec
+
+
+def ascii_roofline(
+    points: Sequence[RooflinePoint],
+    gpu: GPUSpec,
+    *,
+    width: int = 72,
+    height: int = 18,
+    marker: str = "o",
+) -> str:
+    """Log-log roofline scatter with the device ceiling drawn in.
+
+    X: arithmetic intensity (flops/byte); Y: arithmetic throughput
+    (Tflops/s).  The bandwidth slope and compute roof appear as ``/`` and
+    ``-``; the ridge (ideal arithmetic intensity) as ``^`` on the axis.
+    """
+    finite = [p for p in points
+              if p.arithmetic_intensity > 0
+              and math.isfinite(p.arithmetic_intensity)
+              and p.arithmetic_throughput_tflops > 0]
+    if not finite:
+        raise ValueError("no plottable roofline points")
+    x_min = min(min(p.arithmetic_intensity for p in finite) / 2, 0.1)
+    x_max = max(max(p.arithmetic_intensity for p in finite) * 2,
+                gpu.ideal_arithmetic_intensity * 4)
+    y_max = gpu.peak_tflops * 2
+    y_min = min(min(p.arithmetic_throughput_tflops for p in finite) / 2,
+                y_max / 1e4)
+
+    def to_col(x: float) -> int:
+        frac = (math.log10(x) - math.log10(x_min)) / (
+            math.log10(x_max) - math.log10(x_min)
+        )
+        return max(0, min(width - 1, int(round(frac * (width - 1)))))
+
+    def to_row(y: float) -> int:
+        frac = (math.log10(y) - math.log10(y_min)) / (
+            math.log10(y_max) - math.log10(y_min)
+        )
+        return max(0, min(height - 1, int(round((1 - frac) * (height - 1)))))
+
+    grid = [[" "] * width for _ in range(height)]
+    # Draw the roofline ceiling.
+    for col in range(width):
+        x = 10 ** (math.log10(x_min) + col / (width - 1)
+                   * (math.log10(x_max) - math.log10(x_min)))
+        ceiling = min(gpu.peak_tflops, x * gpu.memory_bandwidth / 1e12)
+        row = to_row(ceiling)
+        char = "-" if ceiling >= gpu.peak_tflops * 0.999 else "/"
+        grid[row][col] = char
+    # Scatter the points (drawn after the roof so they stay visible).
+    for point in finite:
+        grid[to_row(point.arithmetic_throughput_tflops)][
+            to_col(point.arithmetic_intensity)
+        ] = marker
+
+    lines = [f"roofline: {gpu.name} (peak {gpu.peak_tflops} TFLOPS, "
+             f"ridge {gpu.ideal_arithmetic_intensity:.2f} flops/byte)"]
+    lines += ["|" + "".join(row) for row in grid]
+    axis = [" "] * width
+    axis[to_col(gpu.ideal_arithmetic_intensity)] = "^"
+    lines.append("+" + "-" * width)
+    lines.append(" " + "".join(axis) + " (ridge)")
+    lines.append(f"  x: {x_min:.2g} .. {x_max:.2g} flops/byte (log) | "
+                 f"y: {y_min:.2g} .. {y_max:.2g} Tflops/s (log)")
+    return "\n".join(lines)
+
+
+def ascii_series(
+    series: Sequence[tuple[int, float]],
+    *,
+    title: str = "",
+    width: int = 72,
+    height: int = 12,
+    marker: str = "#",
+) -> str:
+    """Bar-style chart of an (index, value) series (A3/A4/A12 figures)."""
+    if not series:
+        raise ValueError("empty series")
+    values = [v for _, v in series]
+    v_max = max(values) or 1.0
+    # Downsample columns to fit the width.
+    n = len(series)
+    buckets: list[float] = []
+    for col in range(min(width, n)):
+        lo = col * n // min(width, n)
+        hi = max(lo + 1, (col + 1) * n // min(width, n))
+        buckets.append(max(values[lo:hi]))
+    lines = [title] if title else []
+    for row in range(height, 0, -1):
+        threshold = v_max * row / height
+        lines.append(
+            "|" + "".join(marker if v >= threshold else " " for v in buckets)
+        )
+    lines.append("+" + "-" * len(buckets))
+    lines.append(f"  max {v_max:.3g} over {n} layers")
+    return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""Shared roofline math (paper Sec. III-D3, Figs. 6/9/10/12).
+
+A kernel/layer/model with arithmetic intensity below the device's ideal
+arithmetic intensity (peak FLOPS / memory bandwidth) is memory-bound;
+otherwise compute-bound.  Attainable throughput under the roofline is
+``min(peak, AI * bandwidth)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.hardware import GPUSpec
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One entity placed on the roofline plot."""
+
+    label: str
+    arithmetic_intensity: float  # flops / byte
+    arithmetic_throughput_tflops: float
+    latency_ms: float = 0.0
+
+    def memory_bound(self, gpu: GPUSpec) -> bool:
+        return self.arithmetic_intensity < gpu.ideal_arithmetic_intensity
+
+    def attainable_tflops(self, gpu: GPUSpec) -> float:
+        """Roofline ceiling at this point's arithmetic intensity."""
+        return min(
+            gpu.peak_tflops,
+            self.arithmetic_intensity * gpu.memory_bandwidth / 1e12,
+        )
+
+    def efficiency(self, gpu: GPUSpec) -> float:
+        """Achieved fraction of the attainable roofline throughput."""
+        ceiling = self.attainable_tflops(gpu)
+        if ceiling == 0:
+            return 0.0
+        return self.arithmetic_throughput_tflops / ceiling
+
+
+def classify(point: RooflinePoint, gpu: GPUSpec) -> str:
+    return "memory-bound" if point.memory_bound(gpu) else "compute-bound"
+
+
+def roofline_curve(
+    gpu: GPUSpec, intensities: list[float]
+) -> list[tuple[float, float]]:
+    """(AI, attainable TFLOPS) samples of the device roofline."""
+    return [
+        (ai, min(gpu.peak_tflops, ai * gpu.memory_bandwidth / 1e12))
+        for ai in intensities
+    ]

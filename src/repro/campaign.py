@@ -1,0 +1,109 @@
+"""Measurement campaigns: Sec. IV-scale orchestration.
+
+The paper's evaluation profiles 65 models x 5 systems x 2 frameworks.  A
+:class:`Campaign` declares a grid of (model, system, framework, batch)
+points, runs the pipeline over all of them with shared caching, and
+produces combined comparison tables — the programmatic version of the
+paper's Tables VIII-X workflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.analysis.compare import comparison_table
+from repro.analysis.tables import Table
+from repro.core import AnalysisPipeline, XSPSession
+from repro.core.pipeline import ModelProfile
+from repro.models import get_model
+from repro.sim.memory import OutOfDeviceMemoryError
+
+
+@dataclass(frozen=True)
+class CampaignPoint:
+    """One configuration to profile."""
+
+    model: int | str
+    batch: int
+    system: str = "Tesla_V100"
+    framework: str = "tensorflow_like"
+
+    @property
+    def label(self) -> str:
+        model_name = get_model(self.model).name
+        return f"{model_name}|{self.framework}|{self.system}|bs{self.batch}"
+
+
+@dataclass
+class CampaignResult:
+    """Profiles per point, plus any configurations that did not fit."""
+
+    profiles: dict[CampaignPoint, ModelProfile] = field(default_factory=dict)
+    out_of_memory: list[CampaignPoint] = field(default_factory=list)
+
+    def table(self, *, title: str = "Campaign results") -> Table:
+        return comparison_table(
+            {point.label: profile for point, profile in self.profiles.items()},
+            title=title,
+        )
+
+    def __len__(self) -> int:
+        return len(self.profiles)
+
+
+class Campaign:
+    """Runs a grid of profiling points with per-(system, framework) reuse."""
+
+    def __init__(self, *, runs_per_level: int = 1) -> None:
+        self.runs_per_level = runs_per_level
+        self._pipelines: dict[tuple[str, str], AnalysisPipeline] = {}
+        self.points: list[CampaignPoint] = []
+
+    # -- declaration --------------------------------------------------------
+    def add(self, point: CampaignPoint) -> "Campaign":
+        self.points.append(point)
+        return self
+
+    def add_grid(
+        self,
+        models: Iterable[int | str],
+        batches: Iterable[int],
+        systems: Iterable[str] = ("Tesla_V100",),
+        frameworks: Iterable[str] = ("tensorflow_like",),
+    ) -> "Campaign":
+        for model in models:
+            for system in systems:
+                for framework in frameworks:
+                    for batch in batches:
+                        self.add(CampaignPoint(model, batch, system, framework))
+        return self
+
+    def __iter__(self) -> Iterator[CampaignPoint]:
+        return iter(self.points)
+
+    # -- execution -------------------------------------------------------------
+    def _pipeline(self, system: str, framework: str) -> AnalysisPipeline:
+        key = (system, framework)
+        if key not in self._pipelines:
+            self._pipelines[key] = AnalysisPipeline(
+                XSPSession(system, framework),
+                runs_per_level=self.runs_per_level,
+            )
+        return self._pipelines[key]
+
+    def run(self) -> CampaignResult:
+        """Profile every declared point; OOM points are recorded, not fatal."""
+        if not self.points:
+            raise ValueError("campaign has no points; call add()/add_grid()")
+        result = CampaignResult()
+        for point in self.points:
+            pipeline = self._pipeline(point.system, point.framework)
+            graph = get_model(point.model).graph
+            try:
+                result.profiles[point] = pipeline.profile_model(
+                    graph, point.batch
+                )
+            except OutOfDeviceMemoryError:
+                result.out_of_memory.append(point)
+        return result

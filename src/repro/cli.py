@@ -1,0 +1,167 @@
+"""Command-line interface.
+
+    python -m repro list-models [--task IC]
+    python -m repro profile --model 7 --batch 256 [--system S] [--framework F]
+    python -m repro sweep --model 7 --batches 1,8,64,256
+    python -m repro experiments [--only fig10,table06] [--output EXPERIMENTS.md]
+    python -m repro trace --model 7 --batch 16 --output trace.json [--chrome]
+
+Everything runs on the simulated substrate in deterministic virtual time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.report import full_report
+from repro.core import AnalysisPipeline, MLLibG, ProfilingConfig, XSPSession
+from repro.models import get_model, list_models
+from repro.sim.hardware import SYSTEMS
+from repro.tracing.export import save_trace
+from repro.workloads import throughput_curve
+
+
+def _model_key(value: str) -> int | str:
+    return int(value) if value.isdigit() else value
+
+
+def _add_target_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", required=True, type=_model_key,
+                        help="paper model ID (1-55) or name")
+    parser.add_argument("--system", default="Tesla_V100",
+                        choices=sorted(SYSTEMS))
+    parser.add_argument("--framework", default="tensorflow_like",
+                        choices=["tensorflow_like", "mxnet_like"])
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="XSP reproduction: across-stack profiling of ML models "
+        "on (simulated) GPUs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_p = sub.add_parser("list-models", help="show the Table VIII zoo")
+    list_p.add_argument("--task", choices=["IC", "OD", "IS", "SS", "SR"])
+
+    prof_p = sub.add_parser("profile", help="full across-stack profile")
+    _add_target_args(prof_p)
+    prof_p.add_argument("--batch", type=int, default=1)
+    prof_p.add_argument("--runs", type=int, default=3,
+                        help="repetitions per profiling level")
+
+    sweep_p = sub.add_parser("sweep", help="A1 throughput curve")
+    _add_target_args(sweep_p)
+    sweep_p.add_argument("--batches", default="1,2,4,8,16,32,64,128,256",
+                         help="comma-separated batch sizes")
+
+    exp_p = sub.add_parser("experiments",
+                           help="reproduce the paper's tables/figures")
+    exp_p.add_argument("--only", default=None,
+                       help="comma-separated experiment ids (e.g. fig10)")
+    exp_p.add_argument("--output", default=None,
+                       help="also write an EXPERIMENTS.md-style report here")
+
+    trace_p = sub.add_parser("trace", help="capture and save a raw trace")
+    _add_target_args(trace_p)
+    trace_p.add_argument("--batch", type=int, default=1)
+    trace_p.add_argument("--output", required=True)
+    trace_p.add_argument("--chrome", action="store_true",
+                         help="write chrome://tracing JSON instead")
+    trace_p.add_argument("--library-level", action="store_true",
+                         help="include cuDNN API-call spans (Sec. III-E)")
+    return parser
+
+
+def cmd_list_models(args: argparse.Namespace) -> int:
+    entries = list_models(args.task)
+    print(f"{'ID':>3}  {'Name':<34} {'Task':<4} {'Acc':>6} "
+          f"{'Paper Online(ms)':>17} {'Paper Opt':>9}")
+    for entry in entries:
+        accuracy = "-" if entry.paper.accuracy is None else \
+            f"{entry.paper.accuracy:.1f}"
+        print(f"{entry.model_id:>3}  {entry.name:<34} {entry.task:<4} "
+              f"{accuracy:>6} {entry.paper.online_latency_ms:>17.2f} "
+              f"{entry.paper.optimal_batch:>9}")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    entry = get_model(args.model)
+    session = XSPSession(args.system, args.framework)
+    pipeline = AnalysisPipeline(session, runs_per_level=args.runs)
+    profile = pipeline.profile_model(entry.graph, args.batch)
+    print(full_report(profile))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    entry = get_model(args.model)
+    session = XSPSession(args.system, args.framework)
+    batches = [int(b) for b in args.batches.split(",")]
+    curve = throughput_curve(session, entry.graph, batches)
+    print(f"{entry.name} on {args.system} ({args.framework})")
+    print(f"{'batch':>6} {'latency (ms)':>14} {'inputs/s':>10}")
+    for batch in sorted(curve.latencies_ms):
+        print(f"{batch:>6} {curve.latencies_ms[batch]:>14.2f} "
+              f"{curve.throughputs[batch]:>10.1f}")
+    print(f"optimal batch size: {curve.optimal_batch} "
+          f"(max {curve.max_throughput:.1f} inputs/s)")
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments import run_all
+    from repro.experiments.report import generate
+
+    if args.output:
+        generate(args.output)
+        print(f"wrote {args.output}")
+        return 0
+    ids = args.only.split(",") if args.only else None
+    results = run_all(ids)
+    failures = 0
+    for result in results.values():
+        print(result.render())
+        print()
+        failures += sum(1 for c in result.checks if not c.passed)
+    print(f"{sum(len(r.checks) for r in results.values()) - failures} checks "
+          f"passed, {failures} deviations")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    entry = get_model(args.model)
+    session = XSPSession(args.system, args.framework)
+    config = ProfilingConfig(levels=MLLibG) if args.library_level \
+        else ProfilingConfig()
+    run = session.profile(entry.graph, args.batch, config)
+    if args.chrome:
+        with open(args.output, "w") as fh:
+            fh.write(run.trace.to_chrome_trace())
+    else:
+        save_trace(run.trace, args.output)
+    print(f"captured {len(run.trace)} spans "
+          f"({len(run.kernels)} kernels) -> {args.output}")
+    return 0
+
+
+_COMMANDS = {
+    "list-models": cmd_list_models,
+    "profile": cmd_profile,
+    "sweep": cmd_sweep,
+    "experiments": cmd_experiments,
+    "trace": cmd_trace,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

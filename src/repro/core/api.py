@@ -1,0 +1,58 @@
+"""User-facing tracing API: ``startSpan`` / ``finishSpan``.
+
+The paper's model-level integration is deliberately minimal: "to measure
+the time spent running the model prediction ... one places the tracing
+APIs around the calls to TF_SessionRun ... This only requires adding two
+extra lines in the user's inference code."  These helpers are those two
+lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.tracing.span import Level, Span
+from repro.tracing.tracer import Tracer
+
+
+@dataclass
+class SpanScope:
+    """An open span awaiting :func:`finish_span`."""
+
+    span: Span
+    tracer: Tracer
+    clock: Callable[[], int]
+
+    def finish(self, **tags: Any) -> Span:
+        self.span.end_ns = self.clock()
+        self.span.tags.update(tags)
+        self.tracer.publish(self.span)
+        return self.span
+
+
+def start_span(
+    tracer: Tracer,
+    clock: Callable[[], int],
+    name: str,
+    *,
+    level: Level = Level.MODEL,
+    parent_id: int | None = None,
+    **tags: Any,
+) -> SpanScope:
+    """Open a span measuring a user code region; pair with :func:`finish_span`."""
+    now = clock()
+    span = Span(
+        name=name,
+        start_ns=now,
+        end_ns=now,
+        level=level,
+        parent_id=parent_id,
+        tags=dict(tags),
+    )
+    return SpanScope(span=span, tracer=tracer, clock=clock)
+
+
+def finish_span(scope: SpanScope, **tags: Any) -> Span:
+    """Close and publish a span opened by :func:`start_span`."""
+    return scope.finish(**tags)

@@ -1,0 +1,336 @@
+"""The automated analysis pipeline's data model.
+
+The pipeline consumes traces from a user-defined number of evaluations at
+each profiling level, correlates them, and summarizes repeated
+measurements with a trimmed mean (paper Sec. III-D).  Its output is a
+:class:`ModelProfile` — the accurate, merged, across-stack view of one
+(model, system, framework, batch) combination — which all 15 analyses in
+:mod:`repro.analysis` consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.leveled import LeveledExperiment, LeveledResult
+from repro.core.session import ProfiledRun, XSPSession
+from repro.core.stats import Statistic, trimmed_mean
+from repro.frameworks.graph import Graph
+from repro.sim.hardware import GPUSpec, get_system
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """One GPU kernel invocation, merged across runs and correlated to its layer."""
+
+    name: str
+    layer_index: int
+    position: int  # ordinal within the layer
+    latency_ms: float
+    flops: float
+    dram_read_bytes: float
+    dram_write_bytes: float
+    achieved_occupancy: float
+    grid: tuple[int, int, int]
+    block: tuple[int, int, int]
+
+    @property
+    def dram_bytes(self) -> float:
+        return self.dram_read_bytes + self.dram_write_bytes
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        if self.dram_bytes == 0:
+            return float("inf") if self.flops > 0 else 0.0
+        return self.flops / self.dram_bytes
+
+    @property
+    def arithmetic_throughput_tflops(self) -> float:
+        if self.latency_ms <= 0:
+            return 0.0
+        return self.flops / (self.latency_ms / 1e3) / 1e12
+
+    def memory_bound(self, gpu: GPUSpec) -> bool:
+        return self.arithmetic_intensity < gpu.ideal_arithmetic_intensity
+
+
+@dataclass
+class LayerProfile:
+    """One executed layer with accurate latency and correlated kernels."""
+
+    index: int
+    name: str
+    layer_type: str
+    shape: tuple[int, ...]
+    latency_ms: float
+    alloc_bytes: int
+    kernels: list[KernelProfile] = field(default_factory=list)
+
+    @property
+    def alloc_mb(self) -> float:
+        return self.alloc_bytes / 1e6
+
+    @property
+    def kernel_latency_ms(self) -> float:
+        return sum(k.latency_ms for k in self.kernels)
+
+    @property
+    def non_gpu_latency_ms(self) -> float:
+        """A13: layer latency minus its kernels' device time."""
+        return max(0.0, self.latency_ms - self.kernel_latency_ms)
+
+    @property
+    def flops(self) -> float:
+        return sum(k.flops for k in self.kernels)
+
+    @property
+    def dram_read_bytes(self) -> float:
+        return sum(k.dram_read_bytes for k in self.kernels)
+
+    @property
+    def dram_write_bytes(self) -> float:
+        return sum(k.dram_write_bytes for k in self.kernels)
+
+    @property
+    def dram_bytes(self) -> float:
+        return self.dram_read_bytes + self.dram_write_bytes
+
+    @property
+    def achieved_occupancy(self) -> float:
+        """Latency-weighted occupancy of the layer's kernels (paper A11)."""
+        total = self.kernel_latency_ms
+        if total == 0:
+            return 0.0
+        return sum(k.achieved_occupancy * k.latency_ms for k in self.kernels) / total
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        if self.dram_bytes == 0:
+            return float("inf") if self.flops > 0 else 0.0
+        return self.flops / self.dram_bytes
+
+    @property
+    def arithmetic_throughput_tflops(self) -> float:
+        if self.kernel_latency_ms <= 0:
+            return 0.0
+        return self.flops / (self.kernel_latency_ms / 1e3) / 1e12
+
+    def memory_bound(self, gpu: GPUSpec) -> bool:
+        return self.arithmetic_intensity < gpu.ideal_arithmetic_intensity
+
+
+@dataclass
+class ModelProfile:
+    """Accurate across-stack profile of one (model, system, framework, batch)."""
+
+    model_name: str
+    system: str
+    framework: str
+    batch: int
+    model_latency_ms: float
+    layers: list[LayerProfile]
+    #: Per-rung profiling overhead in ms, e.g. {"M/L": ..., "M/L/G": ...}.
+    overheads: dict[str, float] = field(default_factory=dict)
+    n_runs: int = 1
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    # -- model-level -----------------------------------------------------------
+    @property
+    def throughput(self) -> float:
+        return self.batch / (self.model_latency_ms / 1e3)
+
+    @property
+    def gpu(self) -> GPUSpec:
+        return get_system(self.system)
+
+    # -- aggregates over kernels (paper A15) ------------------------------------
+    @property
+    def kernels(self) -> list[KernelProfile]:
+        return [k for layer in self.layers for k in layer.kernels]
+
+    @property
+    def kernel_latency_ms(self) -> float:
+        return sum(layer.kernel_latency_ms for layer in self.layers)
+
+    @property
+    def gpu_latency_percentage(self) -> float:
+        """Latency due to GPU kernel execution, relative to model latency."""
+        if self.model_latency_ms == 0:
+            return 0.0
+        return 100.0 * self.kernel_latency_ms / self.model_latency_ms
+
+    @property
+    def flops(self) -> float:
+        return sum(layer.flops for layer in self.layers)
+
+    @property
+    def dram_read_bytes(self) -> float:
+        return sum(layer.dram_read_bytes for layer in self.layers)
+
+    @property
+    def dram_write_bytes(self) -> float:
+        return sum(layer.dram_write_bytes for layer in self.layers)
+
+    @property
+    def dram_bytes(self) -> float:
+        return self.dram_read_bytes + self.dram_write_bytes
+
+    @property
+    def achieved_occupancy(self) -> float:
+        total = self.kernel_latency_ms
+        if total == 0:
+            return 0.0
+        return sum(
+            k.achieved_occupancy * k.latency_ms for k in self.kernels
+        ) / total
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        if self.dram_bytes == 0:
+            return float("inf") if self.flops > 0 else 0.0
+        return self.flops / self.dram_bytes
+
+    @property
+    def arithmetic_throughput_tflops(self) -> float:
+        if self.kernel_latency_ms <= 0:
+            return 0.0
+        return self.flops / (self.kernel_latency_ms / 1e3) / 1e12
+
+    @property
+    def memory_bound(self) -> bool:
+        """Paper's roofline rule applied to the whole model (A15)."""
+        return self.arithmetic_intensity < self.gpu.ideal_arithmetic_intensity
+
+
+class AnalysisPipeline:
+    """End-to-end: leveled experiments -> merged :class:`ModelProfile`."""
+
+    def __init__(
+        self,
+        session: XSPSession,
+        *,
+        runs_per_level: int = 3,
+        statistic: Statistic = trimmed_mean,
+    ) -> None:
+        self.session = session
+        self.experiment = LeveledExperiment(
+            session, runs_per_level=runs_per_level, statistic=statistic
+        )
+        self.statistic = statistic
+
+    # -- profile construction ---------------------------------------------------
+    def profile_model(self, graph: Graph, batch: int) -> ModelProfile:
+        """Run the full ladder and merge into an accurate profile."""
+        leveled = self.experiment.run(graph, batch)
+        return self.merge(leveled)
+
+    def sweep(self, graph: Graph, batches: Sequence[int]) -> dict[int, ModelProfile]:
+        """Profiles across batch sizes (A1 / Fig. 3 / Fig. 10 / Table VI)."""
+        return {b: self.profile_model(graph, b) for b in batches}
+
+    # -- merging ------------------------------------------------------------------
+    def merge(self, leveled: LeveledResult) -> ModelProfile:
+        """Combine per-level runs into one accurate profile.
+
+        Layer latencies come from the M/L runs (trimmed mean across
+        repetitions); kernel-to-layer attribution and kernel data come
+        from the M/L/G runs; the model latency comes from the M runs.
+        """
+        ml_runs = leveled.runs_at("M/L")
+        # Kernel data comes from the dedicated metric-collection runs when
+        # present (their CUPTI kernel durations are clean single-pass
+        # times); otherwise from the plain M/L/G rung.
+        try:
+            mlg_runs = leveled.runs_at("M/L/G+metrics")
+        except KeyError:
+            mlg_runs = leveled.runs_at("M/L/G")
+        layers = self._merge_layers(ml_runs)
+        self._attach_kernels(layers, mlg_runs)
+        return ModelProfile(
+            model_name=leveled.model_name,
+            system=leveled.system,
+            framework=leveled.framework,
+            batch=leveled.batch,
+            model_latency_ms=leveled.model_latency_ms,
+            layers=layers,
+            overheads=leveled.overhead_ladder(),
+            n_runs=len(ml_runs),
+        )
+
+    def _merge_layers(self, ml_runs: list[ProfiledRun]) -> list[LayerProfile]:
+        reference = ml_runs[0].layer_spans()
+        merged: list[LayerProfile] = []
+        for pos, span in enumerate(reference):
+            latencies = []
+            for run in ml_runs:
+                spans = run.layer_spans()
+                if pos < len(spans):
+                    latencies.append(spans[pos].duration_ms)
+            merged.append(
+                LayerProfile(
+                    index=span.tags["layer_index"],
+                    name=span.name,
+                    layer_type=span.tags["layer_type"],
+                    shape=tuple(span.tags["shape"]),
+                    latency_ms=self.statistic(latencies),
+                    alloc_bytes=span.tags["alloc_bytes"],
+                )
+            )
+        return merged
+
+    def _attach_kernels(
+        self, layers: list[LayerProfile], mlg_runs: list[ProfiledRun]
+    ) -> None:
+        by_index = {layer.index: layer for layer in layers}
+        # Kernel latency statistics across the M/L/G repetitions, matched by
+        # (layer_index, position-within-layer).
+        latency_samples: dict[tuple[int, int], list[float]] = {}
+        reference: dict[tuple[int, int], KernelProfile] = {}
+        for run in mlg_runs:
+            for layer_index, kernels in run.kernels_by_layer().items():
+                for pos, mk in enumerate(kernels):
+                    key = (layer_index, pos)
+                    exec_span = mk.execution
+                    latency_samples.setdefault(key, []).append(
+                        exec_span.duration_ms
+                    )
+                    if key not in reference:
+                        metrics = mk.metrics
+                        reference[key] = KernelProfile(
+                            name=mk.name,
+                            layer_index=layer_index,
+                            position=pos,
+                            latency_ms=0.0,  # filled below
+                            flops=float(metrics.get("metric.flop_count_sp", 0.0)),
+                            dram_read_bytes=float(
+                                metrics.get("metric.dram_read_bytes", 0.0)
+                            ),
+                            dram_write_bytes=float(
+                                metrics.get("metric.dram_write_bytes", 0.0)
+                            ),
+                            achieved_occupancy=float(
+                                metrics.get("metric.achieved_occupancy", 0.0)
+                            ),
+                            grid=tuple(exec_span.tags.get("grid", (1, 1, 1))),
+                            block=tuple(exec_span.tags.get("block", (1, 1, 1))),
+                        )
+        for key, proto in sorted(reference.items()):
+            layer = by_index.get(key[0])
+            if layer is None:
+                continue  # kernel outside any layer (should not happen)
+            latency = self.statistic(latency_samples[key])
+            layer.kernels.append(
+                KernelProfile(
+                    name=proto.name,
+                    layer_index=proto.layer_index,
+                    position=proto.position,
+                    latency_ms=latency,
+                    flops=proto.flops,
+                    dram_read_bytes=proto.dram_read_bytes,
+                    dram_write_bytes=proto.dram_write_bytes,
+                    achieved_occupancy=proto.achieved_occupancy,
+                    grid=proto.grid,
+                    block=proto.block,
+                )
+            )

@@ -1,0 +1,135 @@
+"""The three stack-level tracers (paper Sec. III-B).
+
+1. **ModelTracer** — spans around user code regions (input pre-processing,
+   model prediction, output post-processing).
+2. **LayerTracer** — consumes the framework profiler's *native* output
+   (TF step-stats or MXNet profile dump), converts each layer record to a
+   span and parents it on the model-prediction span.  XSP "leverages the
+   existing framework's profiling capabilities", so no framework
+   modification happens here — only format parsing.
+3. **GpuTracer** — consumes CUPTI records: each ``cudaLaunchKernel``
+   callback becomes a *launch span*, each kernel activity an *execution
+   span*; the two carry the CUPTI ``correlation_id``.  GPU metrics are
+   attached to the execution span as ``metric.*`` tags.
+
+Launch spans are published without parents; parent reconstruction happens
+offline via the interval tree (:func:`repro.tracing.correlation.reconstruct_parents`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.frameworks.profiler_format import PARSERS
+from repro.sim.cupti import ActivityRecord, ApiRecord
+from repro.tracing.span import Level, Span, SpanKind
+from repro.tracing.tracer import BufferingTracer
+
+
+class ModelTracer(BufferingTracer):
+    """Tracer for user-code (model-level) spans."""
+
+    def __init__(self, sink: Callable[[Span], None] | None = None) -> None:
+        super().__init__("model_tracer", Level.MODEL, sink)
+
+
+class LayerTracer(BufferingTracer):
+    """Tracer converting framework-native layer profiles into spans."""
+
+    def __init__(self, sink: Callable[[Span], None] | None = None) -> None:
+        super().__init__("layer_tracer", Level.LAYER, sink)
+
+    def convert(
+        self,
+        native_profile: dict[str, Any],
+        framework_name: str,
+        parent_span_id: int | None,
+    ) -> list[Span]:
+        """Parse a native profile and publish one span per layer.
+
+        Layer spans are set as children of the model-prediction span, so
+        "each layer [is] directly correlated to the model prediction step".
+        """
+        try:
+            parser = PARSERS[framework_name]
+        except KeyError:
+            raise ValueError(
+                f"no profile parser registered for framework {framework_name!r}; "
+                f"known: {sorted(PARSERS)}"
+            ) from None
+        spans: list[Span] = []
+        for record in parser(native_profile):
+            span = Span(
+                name=record.name,
+                start_ns=record.start_ns,
+                end_ns=record.end_ns,
+                level=Level.LAYER,
+                parent_id=parent_span_id,
+                tags={
+                    "layer_index": record.index,
+                    "layer_type": record.layer_type,
+                    "shape": record.shape,
+                    "alloc_bytes": record.alloc_bytes,
+                },
+            )
+            self.publish(span)
+            spans.append(span)
+        return spans
+
+
+class GpuTracer(BufferingTracer):
+    """Tracer converting CUPTI callback/activity records into spans."""
+
+    def __init__(self, sink: Callable[[Span], None] | None = None) -> None:
+        super().__init__("gpu_tracer", Level.GPU_KERNEL, sink)
+
+    def convert(
+        self,
+        api_records: list[ApiRecord],
+        activity_records: list[ActivityRecord],
+    ) -> list[Span]:
+        """Publish a launch span per API record, an execution span per activity."""
+        spans: list[Span] = []
+        activity_names = {
+            a.correlation_id: a.name
+            for a in activity_records
+            if a.kind == "kernel"
+        }
+        for api in api_records:
+            span = Span(
+                # Label the launch with the launched kernel when known.
+                name=activity_names.get(api.correlation_id, api.name),
+                start_ns=api.start_ns,
+                end_ns=api.end_ns,
+                level=Level.GPU_KERNEL,
+                kind=SpanKind.LAUNCH,
+                correlation_id=api.correlation_id,
+                tags={"api": api.name},
+            )
+            self.publish(span)
+            spans.append(span)
+        for act in activity_records:
+            tags: dict[str, Any] = {
+                "stream_id": act.stream_id,
+                "grid": act.grid,
+                "block": act.block,
+                "activity_kind": act.kind,
+            }
+            for metric, value in act.metrics.items():
+                tags[f"metric.{metric}"] = value
+            span = Span(
+                name=act.name,
+                start_ns=act.start_ns,
+                end_ns=act.end_ns,
+                level=Level.GPU_KERNEL,
+                # Memory copies are synchronous host-visible activities;
+                # kernels are the async launch/execution pairs.
+                kind=(SpanKind.EXECUTION if act.kind == "kernel"
+                      else SpanKind.INTERNAL),
+                correlation_id=(act.correlation_id if act.kind == "kernel"
+                                else None),
+                tags=tags,
+            )
+            self.publish(span)
+            spans.append(span)
+        return spans

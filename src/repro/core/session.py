@@ -1,0 +1,331 @@
+"""XSPSession: one across-stack-profiled model evaluation.
+
+A session binds a system (GPU), a framework, and a tracing server.  Each
+:meth:`XSPSession.profile` call:
+
+1. builds a fresh simulated runtime (clock, CUDA, CUPTI) for the chosen
+   system, honouring ``CUDA_LAUNCH_BLOCKING`` when a serialized run is
+   requested,
+2. enables exactly the tracers the :class:`ProfilingConfig` asks for
+   (model / layer / GPU-kernel levels, GPU metric list),
+3. runs the model-level pipeline — input pre-processing, model
+   prediction, output post-processing — with ``startSpan``/``finishSpan``
+   around each step,
+4. converts the framework profiler's native output and CUPTI's records
+   into spans and publishes everything to the tracing server,
+5. reconstructs the across-stack hierarchy offline (interval tree +
+   launch/execution correlation) and, if parallel events made parentage
+   ambiguous, automatically re-runs serialized — the paper's prescribed
+   remedy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.core.api import start_span
+from repro.core.levels import MLG, ProfilingLevelSet
+from repro.core.library_level import LibraryTracer
+from repro.core.profilers import GpuTracer, LayerTracer, ModelTracer
+from repro.frameworks.base import Framework, PredictionResult, RunOptions
+from repro.frameworks.graph import Graph
+from repro.frameworks.mxnet_like import MXSim
+from repro.frameworks.tensorflow_like import TFSim
+from repro.sim.clock import VirtualClock
+from repro.sim.cuda import CudaRuntime
+from repro.sim.cupti import SUPPORTED_METRICS, Cupti
+from repro.sim.hardware import GPUSpec, get_system
+from repro.tracing.correlation import (
+    CorrelationResult,
+    MergedKernel,
+    correlate_launch_execution,
+    reconstruct_parents,
+)
+from repro.tracing.server import TracingServer
+from repro.tracing.span import Level, Span
+from repro.tracing.trace import Trace
+
+FRAMEWORKS: dict[str, type[Framework]] = {
+    "tensorflow_like": TFSim,
+    "tensorflow": TFSim,
+    "tf": TFSim,
+    "mxnet_like": MXSim,
+    "mxnet": MXSim,
+    "mx": MXSim,
+}
+
+#: Host cost of the model-level pre/post-processing steps (fixed + per image).
+_PREPROCESS_US = (55.0, 2.0)
+_POSTPROCESS_US = (18.0, 0.5)
+
+
+@dataclass(frozen=True)
+class ProfilingConfig:
+    """What to capture during one profiled evaluation."""
+
+    levels: ProfilingLevelSet = MLG
+    metrics: tuple[str, ...] = SUPPORTED_METRICS
+    #: Serialize GPU work (CUDA_LAUNCH_BLOCKING=1).
+    serialized: bool = False
+    #: Automatically re-run serialized when parentage is ambiguous.
+    auto_serialize: bool = True
+    #: Run index; seeds the simulator's deterministic run-to-run jitter.
+    run_index: int = 0
+
+    @property
+    def layer_profiling(self) -> bool:
+        return Level.LAYER in self.levels
+
+    @property
+    def gpu_profiling(self) -> bool:
+        return Level.GPU_KERNEL in self.levels
+
+
+@dataclass
+class ProfiledRun:
+    """Everything captured for one evaluation."""
+
+    trace: Trace
+    config: ProfilingConfig
+    batch: int
+    system: str
+    framework: str
+    prediction: PredictionResult
+    predict_span: Span
+    correlation: CorrelationResult
+    kernels: list[MergedKernel] = field(default_factory=list)
+    #: True when this run is the serialized retry of an ambiguous run.
+    was_serialized_retry: bool = False
+
+    @property
+    def model_latency_ms(self) -> float:
+        return self.predict_span.duration_ms
+
+    @property
+    def peak_device_memory_mb(self) -> float:
+        """High-water device memory during the prediction (MB)."""
+        return self.prediction.peak_device_memory_bytes / 1e6
+
+    def layer_spans(self) -> list[Span]:
+        spans = self.trace.at_level(Level.LAYER)
+        spans.sort(key=lambda s: s.tags.get("layer_index", 0))
+        return spans
+
+    def kernels_by_layer(self) -> dict[int, list[MergedKernel]]:
+        """Merged kernels grouped by layer index (via reconstructed parents)."""
+        by_span_id = {s.span_id: s for s in self.trace.spans}
+        grouped: dict[int, list[MergedKernel]] = {}
+        for mk in self.kernels:
+            parent = by_span_id.get(mk.parent_id) if mk.parent_id else None
+            idx = parent.tags.get("layer_index", -1) if parent else -1
+            grouped.setdefault(idx, []).append(mk)
+        return grouped
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "system": self.system,
+            "framework": self.framework,
+            "batch": self.batch,
+            "levels": self.config.levels.label,
+            "model_latency_ms": self.model_latency_ms,
+            "n_spans": len(self.trace),
+            "n_kernels": len(self.kernels),
+            "ambiguous": self.correlation.needs_serialized_rerun,
+        }
+
+
+class XSPSession:
+    """Profiling sessions for one (system, framework) pair."""
+
+    def __init__(
+        self,
+        system: str | GPUSpec = "Tesla_V100",
+        framework: str = "tensorflow_like",
+        server: TracingServer | None = None,
+    ) -> None:
+        self.gpu = system if isinstance(system, GPUSpec) else get_system(system)
+        try:
+            self.framework_cls = FRAMEWORKS[framework]
+        except KeyError:
+            raise KeyError(
+                f"unknown framework {framework!r}; valid: {sorted(FRAMEWORKS)}"
+            ) from None
+        self.server = server if server is not None else TracingServer()
+        self._model_cache: dict[tuple[str, int], Any] = {}
+
+    # -- main entry -----------------------------------------------------------
+    def profile(
+        self,
+        graph: Graph,
+        batch: int,
+        config: ProfilingConfig | None = None,
+    ) -> ProfiledRun:
+        """Run one across-stack-profiled evaluation of ``graph``."""
+        config = config or ProfilingConfig()
+        run = self._run_once(graph, batch, config)
+        if (
+            run.correlation.needs_serialized_rerun
+            and config.auto_serialize
+            and not config.serialized
+        ):
+            serialized = replace(config, serialized=True)
+            retry = self._run_once(graph, batch, serialized)
+            retry.was_serialized_retry = True
+            return retry
+        return run
+
+    # -- internals ----------------------------------------------------------------
+    def _run_once(
+        self, graph: Graph, batch: int, config: ProfilingConfig
+    ) -> ProfiledRun:
+        clock = VirtualClock()
+        environment = {"CUDA_LAUNCH_BLOCKING": "1"} if config.serialized else {}
+        runtime = CudaRuntime(
+            self.gpu, clock, environment=environment, run_index=config.run_index
+        )
+        cupti: Cupti | None = None
+        if config.gpu_profiling:
+            cupti = Cupti(runtime)
+            cupti.enable_callbacks()
+            cupti.enable_activities()
+            if config.metrics:
+                cupti.enable_metrics(config.metrics)
+
+        framework = self.framework_cls(runtime)
+        model = self._compiled(framework, graph)
+
+        trace_id = self.server.begin_trace(
+            system=self.gpu.name,
+            framework=framework.name,
+            model=graph.name,
+            batch=batch,
+            levels=config.levels.label,
+        )
+        model_tracer = ModelTracer(self.server.publish)
+        layer_tracer = LayerTracer(self.server.publish)
+        gpu_tracer = GpuTracer(self.server.publish)
+
+        # -- the model-level evaluation pipeline -------------------------------
+        pre = start_span(model_tracer, clock.now, "input_preprocess", batch=batch)
+        clock.advance_us(_PREPROCESS_US[0] + _PREPROCESS_US[1] * batch)
+        pre.finish()
+
+        scope = start_span(model_tracer, clock.now, "predict", batch=batch)
+        prediction = self._predict(framework, model, batch, config)
+        predict_span = scope.finish()
+
+        post = start_span(model_tracer, clock.now, "output_postprocess", batch=batch)
+        clock.advance_us(_POSTPROCESS_US[0] + _POSTPROCESS_US[1] * batch)
+        post.finish()
+
+        # -- offline conversion of the other profilers' outputs -----------------
+        if config.layer_profiling and prediction.native_profile is not None:
+            layer_tracer.convert(
+                prediction.native_profile, framework.name, predict_span.span_id
+            )
+        if cupti is not None:
+            api_records, activity_records = cupti.flush()
+            gpu_tracer.convert(api_records, activity_records)
+        if Level.LIBRARY in config.levels:
+            # Sec. III-E extension: cuDNN/cuBLAS API-call spans between the
+            # layer and GPU-kernel levels, synthesized from launch records.
+            library_tracer = LibraryTracer(self.server.publish)
+            library_tracer.convert(runtime.launch_records)
+
+        trace = self.server.end_trace(trace_id)
+        correlation = reconstruct_parents(trace, strict=False)
+        kernels = correlate_launch_execution(trace)
+
+        return ProfiledRun(
+            trace=trace,
+            config=config,
+            batch=batch,
+            system=self.gpu.name,
+            framework=framework.name,
+            prediction=prediction,
+            predict_span=predict_span,
+            correlation=correlation,
+            kernels=kernels,
+        )
+
+    def profile_application(
+        self,
+        workload: list[tuple[Graph, int]],
+        *,
+        name: str = "application",
+        config: ProfilingConfig | None = None,
+    ) -> tuple[Trace, list[ProfiledRun]]:
+        """Profile a whole application: several model evaluations in one trace.
+
+        Sec. III-E: "Adding an application profiling level above the model
+        level to measure whole applications (possibly ... using more than
+        one ML model) is naturally supported by XSP as it uses distributed
+        tracing."  Each evaluation runs normally (own runtime/clock); its
+        spans are re-published, time-shifted onto one application timeline,
+        under a single APPLICATION-level span.
+        """
+        if not workload:
+            raise ValueError("application workload is empty")
+        config = config or ProfilingConfig()
+        runs: list[ProfiledRun] = []
+        trace_id = self.server.begin_trace(application=name)
+        app_trace = self.server.get_trace(trace_id)
+        cursor = 0
+        spans_to_add: list[Span] = []
+        for graph, batch in workload:
+            run = self.profile(graph, batch, config)
+            lo, hi = run.trace.span_extent_ns()
+            for span in run.trace.spans:
+                shifted = Span(
+                    name=span.name,
+                    start_ns=span.start_ns - lo + cursor,
+                    end_ns=span.end_ns - lo + cursor,
+                    level=span.level,
+                    span_id=span.span_id,
+                    parent_id=span.parent_id,
+                    kind=span.kind,
+                    correlation_id=span.correlation_id,
+                    tags=dict(span.tags, model=graph.name),
+                )
+                spans_to_add.append(shifted)
+            cursor += (hi - lo) + 1_000  # 1 us gap between evaluations
+            runs.append(run)
+        app_span = Span(
+            name=name,
+            start_ns=0,
+            end_ns=cursor,
+            level=Level.APPLICATION,
+            tags={"evaluations": len(workload)},
+        )
+        app_trace.add(app_span)
+        for span in spans_to_add:
+            if span.parent_id is None and span.level == Level.MODEL:
+                span.parent_id = app_span.span_id
+            app_trace.add(span)
+        self.server.end_trace(trace_id)
+        return app_trace, runs
+
+    def _predict(
+        self,
+        framework: Framework,
+        model: Any,
+        batch: int,
+        config: ProfilingConfig,
+    ) -> PredictionResult:
+        """Invoke prediction with the framework's own profiler mechanism."""
+        if isinstance(framework, MXSim):
+            # MXNet-style: global toggle (MXSetProfilerState analog).
+            framework.set_profiler_state(config.layer_profiling)
+            return framework.predict(model, batch)
+        # TensorFlow-style: per-call RunOptions.TraceLevel.
+        options = RunOptions(
+            trace_level="FULL" if config.layer_profiling else "NONE"
+        )
+        return framework.predict(model, batch, options)
+
+    def _compiled(self, framework: Framework, graph: Graph) -> Any:
+        key = (framework.name, id(graph))
+        if key not in self._model_cache:
+            self._model_cache[key] = framework.load(graph)
+        return self._model_cache[key]

@@ -1,0 +1,79 @@
+"""Paper-experiment reproduction suite.
+
+One module per table/figure of the paper's evaluation.  Each exposes a
+``run()`` returning an :class:`repro.experiments.result.ExperimentResult`
+with paper-vs-measured values, qualitative agreement checks, and a
+rendered artifact.  ``EXPERIMENTS`` maps experiment ids to their runners;
+:func:`run_all` drives the whole suite (used by the EXPERIMENTS.md
+generator and the benchmark harness).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments import (
+    exp_fig02,
+    exp_fig03,
+    exp_fig04,
+    exp_fig05,
+    exp_fig06,
+    exp_fig07,
+    exp_fig08,
+    exp_fig09,
+    exp_fig10,
+    exp_fig11,
+    exp_fig12,
+    exp_table01,
+    exp_table02,
+    exp_table03,
+    exp_table04,
+    exp_table05,
+    exp_table06,
+    exp_table07,
+    exp_table08,
+    exp_table09,
+    exp_table10,
+)
+from repro.experiments.result import Check, ExperimentResult
+
+#: Registry in paper order.
+EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
+    "table01": exp_table01.run,
+    "fig02": exp_fig02.run,
+    "fig03": exp_fig03.run,
+    "fig04": exp_fig04.run,
+    "fig05": exp_fig05.run,
+    "fig06": exp_fig06.run,
+    "fig07": exp_fig07.run,
+    "fig08": exp_fig08.run,
+    "fig09": exp_fig09.run,
+    "fig10": exp_fig10.run,
+    "table02": exp_table02.run,
+    "table03": exp_table03.run,
+    "table04": exp_table04.run,
+    "table05": exp_table05.run,
+    "table06": exp_table06.run,
+    "table07": exp_table07.run,
+    "table08": exp_table08.run,
+    "table09": exp_table09.run,
+    "fig11": exp_fig11.run,
+    "fig12": exp_fig12.run,
+    "table10": exp_table10.run,
+}
+
+
+def run_all(ids: list[str] | None = None) -> dict[str, ExperimentResult]:
+    """Run the requested experiments (all by default), in paper order."""
+    selected = list(EXPERIMENTS) if ids is None else ids
+    results: dict[str, ExperimentResult] = {}
+    for exp_id in selected:
+        if exp_id not in EXPERIMENTS:
+            raise KeyError(
+                f"unknown experiment {exp_id!r}; valid: {sorted(EXPERIMENTS)}"
+            )
+        results[exp_id] = EXPERIMENTS[exp_id]()
+    return results
+
+
+__all__ = ["Check", "EXPERIMENTS", "ExperimentResult", "run_all"]

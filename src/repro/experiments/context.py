@@ -1,0 +1,74 @@
+"""Shared, cached measurement context for the experiment suite.
+
+Every experiment module pulls its inputs from here so profiles/sweeps are
+computed once per process regardless of how many experiments (or
+benchmarks) consume them.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.core import AnalysisPipeline, XSPSession
+from repro.core.pipeline import ModelProfile
+from repro.models import MXNET_ZOO, get_model
+from repro.workloads import ThroughputCurve, throughput_curve
+
+#: Repetitions per profiling level; 2 keeps the full suite fast while still
+#: exercising the trimmed-mean machinery.
+RUNS_PER_LEVEL = 2
+
+RESNET50_ID = 7
+RESNET50_BATCHES = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+SYSTEMS = ("Quadro_RTX", "Tesla_V100", "Tesla_P100", "Tesla_P4", "Tesla_M60")
+
+
+@functools.lru_cache(maxsize=None)
+def session(system: str = "Tesla_V100", framework: str = "tensorflow_like") -> XSPSession:
+    return XSPSession(system=system, framework=framework)
+
+
+@functools.lru_cache(maxsize=None)
+def pipeline(system: str = "Tesla_V100", framework: str = "tensorflow_like") -> AnalysisPipeline:
+    return AnalysisPipeline(session(system, framework),
+                            runs_per_level=RUNS_PER_LEVEL)
+
+
+@functools.lru_cache(maxsize=None)
+def model_profile(
+    model_id: int,
+    batch: int,
+    system: str = "Tesla_V100",
+    framework: str = "tensorflow_like",
+) -> ModelProfile:
+    graph = get_model(model_id).graph
+    return pipeline(system, framework).profile_model(graph, batch)
+
+
+@functools.lru_cache(maxsize=None)
+def resnet50_sweep(system: str = "Tesla_V100") -> dict[int, ModelProfile]:
+    graph = get_model(RESNET50_ID).graph
+    return pipeline(system).sweep(graph, RESNET50_BATCHES)
+
+
+@functools.lru_cache(maxsize=None)
+def curve(
+    model_id: int,
+    batches: tuple[int, ...],
+    system: str = "Tesla_V100",
+    framework: str = "tensorflow_like",
+) -> ThroughputCurve:
+    graph = get_model(model_id).graph
+    return throughput_curve(session(system, framework), graph, batches, runs=2)
+
+
+@functools.lru_cache(maxsize=None)
+def mxnet_graph(model_id: int):
+    return MXNET_ZOO[model_id].graph
+
+
+def clear() -> None:
+    """Drop all cached measurements (used by benchmarks to time cold runs)."""
+    for fn in (session, pipeline, model_profile, resnet50_sweep, curve,
+               mxnet_graph):
+        fn.cache_clear()

@@ -1,0 +1,50 @@
+"""Figure 2 — leveled experimentation overhead ladder.
+
+Paper values for MLPerf_ResNet50_v1.5 at batch 256 on Tesla_V100:
+model prediction 275.1 ms at M; +157 ms layer-profiling overhead at M/L;
+further GPU-profiling overhead at M/L/G (the paper's total reaches
+490.3 ms with its instrumentation settings).
+"""
+
+from __future__ import annotations
+
+from repro.core import LeveledExperiment
+from repro.experiments import context
+from repro.experiments.result import ExperimentResult
+from repro.models import get_model
+
+
+def run() -> ExperimentResult:
+    experiment = LeveledExperiment(
+        context.session(), runs_per_level=context.RUNS_PER_LEVEL
+    )
+    leveled = experiment.run(get_model(context.RESNET50_ID).graph, 256)
+    m = leveled.predict_latency_at("M")
+    ml = leveled.predict_latency_at("M/L")
+    mlg = leveled.predict_latency_at("M/L/G")
+    ladder = leveled.overhead_ladder()
+
+    result = ExperimentResult(
+        exp_id="Figure 2",
+        title="Leveled experimentation: per-level profiling overhead "
+              "(ResNet50, batch 256, Tesla_V100)",
+        paper={"model_ms": 275.1, "layer_overhead_ms": 157.0,
+               "accurate_layers_despite_overhead": True},
+        measured={"model_ms": m, "layer_overhead_ms": ladder["M/L"],
+                  "gpu_overhead_ms": ladder["M/L/G"]},
+    )
+    result.check("baseline model latency within 35% of paper",
+                 0.65 * 275.1 < m < 1.35 * 275.1, f"{m:.1f} ms")
+    result.check("layer profiling adds ~157 ms overhead",
+                 100 < ladder["M/L"] < 220, f"{ladder['M/L']:.1f} ms")
+    result.check("each deeper level costs more", m < ml < mlg)
+    result.check("GPU timeline capture overhead is positive and smaller "
+                 "than layer overhead",
+                 0 < ladder["M/L/G"] < ladder["M/L"],
+                 f"{ladder['M/L/G']:.1f} ms")
+    rows = [f"  {'level':8} {'predict (ms)':>14} {'overhead (ms)':>14}"]
+    rows.append(f"  {'M':8} {m:>14.2f} {'-':>14}")
+    rows.append(f"  {'M/L':8} {ml:>14.2f} {ladder['M/L']:>14.2f}")
+    rows.append(f"  {'M/L/G':8} {mlg:>14.2f} {ladder['M/L/G']:>14.2f}")
+    result.artifact = "\n".join(rows)
+    return result

@@ -1,0 +1,52 @@
+"""Figure 3 — ResNet50 throughput across batch sizes on Tesla_V100.
+
+Paper: throughput rises to a maximum of 930.7 inputs/s; the optimal batch
+size rule selects 256; online (batch-1) latency is 6.22 ms.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import context
+from repro.experiments.result import ExperimentResult
+
+
+def run() -> ExperimentResult:
+    curve = context.curve(context.RESNET50_ID,
+                          (1, 2, 4, 8, 16, 32, 64, 128, 256, 512))
+    result = ExperimentResult(
+        exp_id="Figure 3",
+        title="MLPerf_ResNet50_v1.5 throughput across batch sizes "
+              "(Tesla_V100)",
+        paper={"optimal_batch": 256, "max_throughput": 930.7,
+               "online_ms": 6.22},
+        measured={"optimal_batch": curve.optimal_batch,
+                  "max_throughput": curve.max_throughput,
+                  "online_ms": curve.online_latency_ms},
+    )
+    result.check(
+        "optimal batch size is 128 or 256 (the paper reports 256, but its "
+        "own Table VI latencies give a 3.9% gain from 128 to 256, which "
+        "the stated 5% rule rejects; our curve matches Table VI)",
+        curve.optimal_batch in (128, 256),
+        f"{curve.optimal_batch}",
+    )
+    result.check("max throughput within 25% of paper (930.7/s)",
+                 0.75 * 930.7 < curve.max_throughput < 1.25 * 930.7,
+                 f"{curve.max_throughput:.1f}/s")
+    result.check("online latency within 35% of paper (6.22 ms)",
+                 0.65 * 6.22 < curve.online_latency_ms < 1.35 * 6.22,
+                 f"{curve.online_latency_ms:.2f} ms")
+    tput = curve.throughputs
+    monotone = all(
+        tput[a] <= tput[b] * 1.02
+        for a, b in zip(sorted(tput), sorted(tput)[1:])
+    )
+    result.check("throughput saturates monotonically", monotone)
+    rows = [f"  {'batch':>6} {'latency (ms)':>14} {'inputs/s':>10}"]
+    for batch in sorted(curve.latencies_ms):
+        rows.append(
+            f"  {batch:>6} {curve.latencies_ms[batch]:>14.2f} "
+            f"{tput[batch]:>10.1f}"
+        )
+    result.artifact = "\n".join(rows)
+    return result

@@ -1,0 +1,51 @@
+"""Figure 4 — layer statistics: A5 type distribution, A6 latency by type,
+A7 memory by type (ResNet50, batch 256).
+
+Paper: Conv2D/Mul/Add each ~22.7% of layer count; Conv2D dominates
+latency at ~58.6%; the Conv->BN->Relu modules execute as
+Conv2D -> Mul -> Add -> Relu.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import latency_by_type, layer_type_distribution, memory_by_type
+from repro.experiments import context
+from repro.experiments.result import ExperimentResult
+
+
+def run() -> ExperimentResult:
+    profile = context.model_profile(context.RESNET50_ID, 256)
+    dist = layer_type_distribution(profile)
+    lat = latency_by_type(profile)
+    mem = memory_by_type(profile)
+
+    dist_pct = {r["layer_type"]: r["percentage"] for r in dist}
+    lat_pct = {r["layer_type"]: r["percentage"] for r in lat}
+
+    result = ExperimentResult(
+        exp_id="Figure 4",
+        title="A5/A6/A7 layer statistics for ResNet50 (batch 256)",
+        paper={"conv_count_pct": 22.66, "mul_count_pct": 22.66,
+               "conv_latency_pct": 58.56, "relu_latency_pct": 9.71},
+        measured={"conv_count_pct": dist_pct.get("Conv2D", 0.0),
+                  "mul_count_pct": dist_pct.get("Mul", 0.0),
+                  "conv_latency_pct": lat_pct.get("Conv2D", 0.0),
+                  "relu_latency_pct": lat_pct.get("Relu", 0.0)},
+    )
+    result.check("Conv2D/Mul/Add each ~22-24% of layers",
+                 all(20 < dist_pct.get(t, 0) < 26
+                     for t in ("Conv2D", "Mul", "Add")))
+    result.check("Conv2D dominates latency at ~55-65%",
+                 52 < lat_pct.get("Conv2D", 0) < 68,
+                 f"{lat_pct.get('Conv2D', 0):.1f}%")
+    result.check("Mul/Add/Relu each contribute ~7-13% of latency",
+                 all(6 < lat_pct.get(t, 0) < 14
+                     for t in ("Mul", "Add", "Relu")))
+    result.check("the same layer group dominates memory allocation",
+                 mem.rows[0]["layer_type"] in
+                 ("Conv2D", "Mul", "Add", "Relu"))
+    result.artifact = (
+        dist.render(max_rows=6) + "\n\n" + lat.render(max_rows=6)
+        + "\n\n" + mem.render(max_rows=6)
+    )
+    return result

@@ -1,0 +1,41 @@
+"""Figure 6 — A9 GPU kernel roofline (ResNet50, batch 256).
+
+Paper: the most time-consuming kernels are convolution kernels, all
+compute-bound; the Eigen element-wise kernels sit deep in the
+memory-bound region.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import bound_counts, kernel_roofline, top_kernels
+from repro.experiments import context
+from repro.experiments.result import ExperimentResult
+
+
+def run() -> ExperimentResult:
+    profile = context.model_profile(context.RESNET50_ID, 256)
+    counts = bound_counts(profile)
+    points = kernel_roofline(profile)
+    top = top_kernels(profile, 5)
+
+    result = ExperimentResult(
+        exp_id="Figure 6",
+        title="A9 kernel roofline (ResNet50, batch 256, Tesla_V100)",
+        paper={"top_kernels_compute_bound": True,
+               "ideal_ai": 17.44},
+        measured={"compute_bound": counts["compute-bound"],
+                  "memory_bound": counts["memory-bound"],
+                  "ideal_ai": profile.gpu.ideal_arithmetic_intensity},
+    )
+    result.check("both regions populated",
+                 counts["compute-bound"] > 0 and counts["memory-bound"] > 0)
+    result.check("top-5 kernels are all compute-bound conv kernels",
+                 all(not r["memory_bound"] for r in top))
+    eigen_points = [p for p in points if "Eigen" in p.label]
+    result.check("Eigen kernels are memory-bound",
+                 all(p.memory_bound(profile.gpu) for p in eigen_points))
+    result.check("kernel AIs span >3 orders of magnitude",
+                 max(p.arithmetic_intensity for p in points)
+                 > 1000 * min(p.arithmetic_intensity for p in points))
+    result.artifact = top.render()
+    return result

@@ -1,0 +1,49 @@
+"""Figure 8 — A13 normalized GPU vs non-GPU latency per layer
+(ResNet50, batch 256).
+
+Paper: most layers are GPU-dominated at batch 256 (the model-level GPU
+latency share is 92.4%), with non-GPU time visible on cheap layers.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import gpu_vs_nongpu_series, model_non_gpu_latency_ms
+from repro.experiments import context
+from repro.experiments.result import ExperimentResult
+
+
+def run() -> ExperimentResult:
+    profile = context.model_profile(context.RESNET50_ID, 256)
+    series = gpu_vs_nongpu_series(profile)
+    gpu_shares = [share for _, share, _ in series]
+    mean_share = sum(gpu_shares) / len(gpu_shares)
+
+    result = ExperimentResult(
+        exp_id="Figure 8",
+        title="A13 GPU vs non-GPU latency per layer (ResNet50, batch 256)",
+        paper={"model_gpu_latency_pct": 92.43},
+        measured={"model_gpu_latency_pct": profile.gpu_latency_percentage,
+                  "mean_layer_gpu_share_pct": 100 * mean_share,
+                  "non_gpu_ms": model_non_gpu_latency_ms(profile)},
+    )
+    result.check("model GPU latency share ~85-97% (paper 92.4%)",
+                 85 < profile.gpu_latency_percentage < 97,
+                 f"{profile.gpu_latency_percentage:.1f}%")
+    result.check("every layer's shares sum to 1",
+                 all(abs(g + n - 1.0) < 1e-9 for _, g, n in series))
+    heavy = [l for l in profile.layers
+             if l.latency_ms > 1.0 and l.kernels]  # Data feeds are host-side
+    result.check("expensive compute layers are GPU-dominated",
+                 all(l.kernel_latency_ms > 0.8 * l.latency_ms for l in heavy))
+    cheap_low_gpu = [
+        l for l in profile.layers
+        if l.latency_ms < 0.05 and l.kernel_latency_ms < 0.7 * l.latency_ms
+    ]
+    result.check("some cheap layers show visible non-GPU time",
+                 len(cheap_low_gpu) > 0, f"{len(cheap_low_gpu)} layers")
+    result.artifact = (
+        f"  mean per-layer GPU share {100 * mean_share:.1f}% | model share "
+        f"{profile.gpu_latency_percentage:.1f}% | non-GPU "
+        f"{model_non_gpu_latency_ms(profile):.1f} ms"
+    )
+    return result

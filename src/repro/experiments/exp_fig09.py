@@ -1,0 +1,46 @@
+"""Figure 9 — A14 layer roofline (ResNet50, batch 256).
+
+Paper: "The Conv2D, MatMul, BiasAdd, and Softmax layers are
+compute-bound, whereas the other layers (Add, Mul, and Relu) are
+memory-bound"; Conv2D layers are the most compute and memory intensive.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import bound_by_layer_type, layer_roofline
+from repro.experiments import context
+from repro.experiments.result import ExperimentResult
+
+
+def run() -> ExperimentResult:
+    profile = context.model_profile(context.RESNET50_ID, 256)
+    bounds = bound_by_layer_type(profile)
+    points = layer_roofline(profile)
+
+    result = ExperimentResult(
+        exp_id="Figure 9",
+        title="A14 layer roofline (ResNet50, batch 256, Tesla_V100)",
+        paper={"Conv2D": "compute-bound", "MatMul": "compute-bound",
+               "Add": "memory-bound", "Mul": "memory-bound",
+               "Relu": "memory-bound"},
+        measured={k: v for k, v in sorted(bounds.items())
+                  if k in ("Conv2D", "MatMul", "Add", "Mul", "Relu",
+                           "AddN", "Softmax")},
+    )
+    result.check("Conv2D layers compute-bound",
+                 bounds.get("Conv2D") == "compute-bound")
+    result.check("MatMul compute-bound", bounds.get("MatMul") == "compute-bound")
+    for t in ("Add", "Mul", "Relu"):
+        result.check(f"{t} layers memory-bound",
+                     bounds.get(t) == "memory-bound")
+    conv_points = [p for p in points if "Conv2D" in p.label]
+    other = [p for p in points if "Conv2D" not in p.label]
+    result.check(
+        "Conv2D layers reach the highest arithmetic throughput",
+        max(p.arithmetic_throughput_tflops for p in conv_points)
+        > max(p.arithmetic_throughput_tflops for p in other),
+    )
+    result.artifact = "  " + ", ".join(
+        f"{k}={v}" for k, v in sorted(bounds.items())
+    )
+    return result

@@ -1,0 +1,53 @@
+"""Figure 10 — whole-model roofline across batch sizes (ResNet50).
+
+Paper: "the model is compute-bound except for batch sizes 16 and 32
+where it is memory-bound", caused by the cuDNN algorithm switch
+(IMPLICIT_GEMM below batch 16, IMPLICIT_PRECOMP_GEMM above); the overall
+achieved occupancy increases as the batch size approaches the optimum.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import model_roofline_points
+from repro.experiments import context
+from repro.experiments.result import ExperimentResult
+
+
+def run() -> ExperimentResult:
+    sweep = context.resnet50_sweep()
+    points = model_roofline_points(sweep)
+    bound = {b: p.memory_bound for b, p in sweep.items()}
+    occupancy = {b: p.achieved_occupancy for b, p in sweep.items()}
+
+    result = ExperimentResult(
+        exp_id="Figure 10",
+        title="A15 model roofline across batch sizes (ResNet50, Tesla_V100)",
+        paper={"memory_bound_batches": [16, 32],
+               "occupancy_rises_to_optimum": True},
+        measured={"memory_bound_batches":
+                  sorted(b for b, flag in bound.items() if flag),
+                  "occ_bs1_pct": 100 * occupancy[1],
+                  "occ_bs256_pct": 100 * occupancy[256]},
+    )
+    result.check("memory-bound at exactly batch sizes 16 and 32",
+                 sorted(b for b, flag in bound.items() if flag) == [16, 32])
+    result.check("achieved occupancy rises toward the optimal batch",
+                 occupancy[1] < occupancy[16] < occupancy[256])
+    kernels_small = {k.name for k in sweep[8].kernels}
+    kernels_large = {k.name for k in sweep[64].kernels}
+    result.check(
+        "cuDNN algorithm switch at batch 16 "
+        "(implicit_convolve_sgemm -> scudnn precomp kernels)",
+        any("implicit_convolve_sgemm" in n for n in kernels_small)
+        and any("scudnn_128x" in n for n in kernels_large)
+        and not any("implicit_convolve_sgemm" in n for n in kernels_large),
+    )
+    rows = [f"  {'batch':>6} {'AI (flop/B)':>12} {'occ %':>7}  bound"]
+    for point, batch in zip(points, sorted(sweep)):
+        rows.append(
+            f"  {batch:>6} {point.arithmetic_intensity:>12.2f} "
+            f"{100 * occupancy[batch]:>7.1f}  "
+            f"{'memory' if bound[batch] else 'compute'}"
+        )
+    result.artifact = "\n".join(rows)
+    return result

@@ -1,0 +1,50 @@
+"""Figure 11 — ResNet50 throughput and GPU latency across the five
+systems and batch sizes (Sec. IV-C).
+
+Paper: V100 leads; Quadro RTX has higher peak FLOPS but lower bandwidth
+and "straggles on memory-bound layers", performing slightly worse;
+performance scales differently across systems; the kernels invoked are
+system-dependent.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import context
+from repro.experiments.result import ExperimentResult
+
+_BATCHES = (1, 4, 16, 64, 256)
+
+
+def run() -> ExperimentResult:
+    curves = {
+        system: context.curve(context.RESNET50_ID, _BATCHES, system=system)
+        for system in context.SYSTEMS
+    }
+    tput256 = {s: c.throughputs[256] for s, c in curves.items()}
+    ranking = sorted(tput256, key=tput256.get, reverse=True)
+
+    result = ExperimentResult(
+        exp_id="Figure 11",
+        title="ResNet50 throughput/latency across 5 systems x batch sizes",
+        paper={"winner": "Tesla_V100", "runner_up": "Quadro_RTX",
+               "slowest": "Tesla_M60"},
+        measured={"ranking": ranking},
+    )
+    result.check("Tesla_V100 wins at batch 256", ranking[0] == "Tesla_V100")
+    result.check("Quadro_RTX second despite higher peak FLOPS "
+                 "(memory-bound layers straggle)",
+                 ranking[1] == "Quadro_RTX")
+    result.check("Tesla_M60 slowest", ranking[-1] == "Tesla_M60")
+    scaling = {
+        s: c.throughputs[256] / c.throughputs[1] for s, c in curves.items()
+    }
+    result.check("scaling with batch differs across systems (>1.5x spread)",
+                 max(scaling.values()) > 1.5 * min(scaling.values()))
+    rows = [f"  {'system':<12}" + "".join(f"{b:>10}" for b in _BATCHES)]
+    for system, curve in curves.items():
+        tput = curve.throughputs
+        rows.append(
+            f"  {system:<12}" + "".join(f"{tput[b]:>10.1f}" for b in _BATCHES)
+        )
+    result.artifact = "\n".join(rows)
+    return result

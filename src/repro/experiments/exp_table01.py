@@ -1,0 +1,49 @@
+"""Table I — the 15-analysis capability matrix."""
+
+from __future__ import annotations
+
+from repro.analysis import ANALYSIS_REGISTRY
+from repro.analysis.tables import Column, Table
+from repro.experiments.result import ExperimentResult
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="Table I",
+        title="The 15 analyses performed by XSP vs existing tool classes",
+        paper={"analyses": 15, "xsp_exclusive": "A11-A14"},
+    )
+    table = Table(
+        title="Table I capability matrix",
+        columns=[
+            Column("id", "Analysis", align="<"),
+            Column("description", "Description", align="<"),
+            Column("levels", "Levels"),
+            Column("e2e", "End-to-End"),
+            Column("fw", "Framework Profilers"),
+            Column("nv", "NVIDIA Profilers"),
+            Column("xsp", "XSP"),
+        ],
+    )
+    exclusive = []
+    for info in ANALYSIS_REGISTRY:
+        table.add(
+            id=info.analysis_id, description=info.description,
+            levels=info.levels, e2e=info.end_to_end_benchmarking,
+            fw=info.framework_profilers, nv=info.nvidia_profilers,
+            xsp=info.xsp,
+        )
+        if not (info.end_to_end_benchmarking or info.framework_profilers
+                or info.nvidia_profilers):
+            exclusive.append(info.analysis_id)
+    result.measured = {
+        "analyses": len(ANALYSIS_REGISTRY),
+        "xsp_exclusive": "-".join([exclusive[0], exclusive[-1]]),
+    }
+    result.check("15 analyses are implemented", len(ANALYSIS_REGISTRY) == 15)
+    result.check("A11-A14 require XSP's across-stack correlation",
+                 exclusive == ["A11", "A12", "A13", "A14"])
+    result.check("XSP performs all analyses",
+                 all(a.xsp for a in ANALYSIS_REGISTRY))
+    result.artifact = table.render()
+    return result

@@ -1,0 +1,47 @@
+"""Table III — top-5 most time-consuming GPU kernel calls (A8).
+
+Paper: two volta_cgemm_32x32_tn calls (layers 208/221) and three scudnn
+calls lead; all compute-bound; the layer-3 scudnn kernel has AI ~204
+while the cgemm calls reach AI ~850.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import top_kernels
+from repro.experiments import context
+from repro.experiments.result import ExperimentResult
+
+
+def run() -> ExperimentResult:
+    profile = context.model_profile(context.RESNET50_ID, 256)
+    top = top_kernels(profile, 5)
+    names = [r["name"] for r in top]
+
+    result = ExperimentResult(
+        exp_id="Table III",
+        title="A8 top-5 GPU kernel calls (ResNet50, batch 256)",
+        paper={"total_kernels": 375, "top_classes": "cgemm + scudnn",
+               "all_compute_bound": True},
+        measured={"total_kernels": len(profile.kernels),
+                  "top_classes": ", ".join(sorted(
+                      {"cgemm" if "cgemm" in n else "scudnn" for n in names}
+                  ))},
+    )
+    result.check("top kernels are cgemm/scudnn convolution kernels",
+                 all("cgemm" in n or "scudnn" in n for n in names))
+    result.check("a cgemm kernel appears near the top",
+                 any("cgemm" in n for n in names))
+    result.check("all top-5 kernels are compute-bound",
+                 all(not r["memory_bound"] for r in top))
+    result.check("hundreds of kernel invocations (paper: 375)",
+                 200 <= len(profile.kernels) <= 500,
+                 f"{len(profile.kernels)}")
+    result.check("every top kernel is correlated to a layer",
+                 all(r["layer_index"] > 0 for r in top))
+    cgemm = [r for r in top if "cgemm" in r["name"]]
+    if cgemm:
+        result.check("cgemm arithmetic intensity is very high (paper ~850)",
+                     cgemm[0]["arithmetic_intensity"] > 200,
+                     f"{cgemm[0]['arithmetic_intensity']:.0f}")
+    result.artifact = top.render()
+    return result

@@ -1,0 +1,53 @@
+"""Table IV — GPU kernels aggregated by name (A10).
+
+Paper: volta_scudnn_128x64_relu_interior_nn_v1 leads with 30.9% of model
+latency; Eigen scalar_product/scalar_sum ops follow at ~10% each,
+memory-bound at ~0.25 flops/byte; scalar_max (ReLU) runs at 98.4%
+occupancy with 0 flops; 30 unique kernels.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import kernel_by_name_table
+from repro.experiments import context
+from repro.experiments.result import ExperimentResult
+
+
+def run() -> ExperimentResult:
+    profile = context.model_profile(context.RESNET50_ID, 256)
+    table = kernel_by_name_table(profile)
+    leader = table.rows[0]
+    by_name = {r["name"]: r for r in table}
+
+    result = ExperimentResult(
+        exp_id="Table IV",
+        title="A10 kernels aggregated by name (ResNet50, batch 256)",
+        paper={"leader": "volta_scudnn_128x64_relu_interior_nn_v1",
+               "leader_pct": 30.87, "unique_kernels": 30,
+               "eigen_ai": 0.26, "relu_occupancy_pct": 98.39},
+        measured={"leader": leader["name"],
+                  "leader_pct": leader["latency_pct"],
+                  "unique_kernels": len(table)},
+    )
+    result.check("scudnn 128x64 is the top kernel by aggregate latency",
+                 "scudnn_128x64" in leader["name"])
+    result.check("leader takes a dominant share of model latency "
+                 "(paper 30.9%; ours is higher as more convs dispatch "
+                 "to the 128x64 tile)",
+                 20 < leader["latency_pct"] < 55,
+                 f"{leader['latency_pct']:.1f}%")
+    product = next((r for r in table if "scalar_product_op" in r["name"]), None)
+    result.check("Eigen product kernels memory-bound near 0.25 flops/byte",
+                 product is not None and product["memory_bound"]
+                 and 0.1 < product["arithmetic_intensity"] < 0.6,
+                 f"{product['arithmetic_intensity']:.2f}" if product else "missing")
+    relu = next((r for r in table if "scalar_max_op" in r["name"]), None)
+    result.check("ReLU kernel: 0 flops at ~98% occupancy",
+                 relu is not None and relu["gflops"] == 0.0
+                 and relu["occupancy_pct"] > 90,
+                 f"occ {relu['occupancy_pct']:.1f}%" if relu else "missing")
+    result.check("tens of unique kernel names (paper: 30; our kernel "
+                 "emission is slightly coarser)",
+                 12 <= len(table) <= 40, f"{len(table)}")
+    result.artifact = table.head(8).render()
+    return result

@@ -1,0 +1,51 @@
+"""Table V — GPU kernel information aggregated by layer (A11).
+
+Paper: the top-5 layers' kernel latencies nearly equal their layer
+latencies (GPU-dominated); occupancy is the latency-weighted mean of the
+layers' kernels; all five are compute-bound.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import top_layers_by_kernels
+from repro.experiments import context
+from repro.experiments.result import ExperimentResult
+
+
+def run() -> ExperimentResult:
+    profile = context.model_profile(context.RESNET50_ID, 256)
+    top = top_layers_by_kernels(profile, 5)
+
+    result = ExperimentResult(
+        exp_id="Table V",
+        title="A11 kernel aggregates for the top-5 layers "
+              "(ResNet50, batch 256)",
+        paper={"kernel_share_of_layer": ">95%", "all_compute_bound": True},
+        measured={"kernel_share_of_layer": "%.1f%%" % (
+            100 * sum(r["kernel_latency_ms"] for r in top)
+            / sum(r["latency_ms"] for r in top)
+        )},
+    )
+    result.check("kernel latency accounts for >90% of each top layer",
+                 all(r["kernel_latency_ms"] > 0.9 * r["latency_ms"]
+                     for r in top))
+    result.check("all top-5 layers compute-bound",
+                 all(not r["memory_bound"] for r in top))
+    result.check("occupancy is a valid weighted mean (0-100%)",
+                 all(0 < r["occupancy_pct"] < 100 for r in top))
+    result.check("layer flops/dram equal the sums of their kernels'",
+                 _sums_consistent(profile))
+    result.artifact = top.render()
+    return result
+
+
+def _sums_consistent(profile) -> bool:
+    for layer in profile.layers:
+        if not layer.kernels:
+            continue
+        if abs(layer.flops - sum(k.flops for k in layer.kernels)) > 1e-6:
+            return False
+        if abs(layer.dram_read_bytes
+               - sum(k.dram_read_bytes for k in layer.kernels)) > 1e-6:
+            return False
+    return True

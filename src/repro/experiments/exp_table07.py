@@ -1,0 +1,52 @@
+"""Table VII — the five evaluation systems."""
+
+from __future__ import annotations
+
+from repro.analysis.tables import Column, Table
+from repro.experiments.result import ExperimentResult
+from repro.sim import SYSTEMS
+
+_PAPER_AI = {"Quadro_RTX": 26.12, "Tesla_V100": 17.44, "Tesla_P100": 12.70,
+             "Tesla_P4": 28.34, "Tesla_M60": 30.12}
+
+
+def run() -> ExperimentResult:
+    table = Table(
+        title="Table VII evaluation systems",
+        columns=[
+            Column("name", "Name", align="<"),
+            Column("gpu", "GPU", align="<"),
+            Column("arch", "Architecture", align="<"),
+            Column("tflops", "Theoretical FLOPS (TFLOPS)", ".1f"),
+            Column("bw", "Memory Bandwidth (GB/s)", ".0f"),
+            Column("ai", "Ideal Arithmetic Intensity", ".2f"),
+        ],
+    )
+    deviations = {}
+    for name, spec in SYSTEMS.items():
+        table.add(name=name, gpu=spec.gpu,
+                  arch=spec.architecture.value.title(),
+                  tflops=spec.peak_tflops, bw=spec.memory_bandwidth_gbps,
+                  ai=spec.ideal_arithmetic_intensity)
+        deviations[name] = abs(
+            spec.ideal_arithmetic_intensity - _PAPER_AI[name]
+        ) / _PAPER_AI[name]
+
+    result = ExperimentResult(
+        exp_id="Table VII",
+        title="Five systems spanning Turing/Volta/Pascal/Maxwell",
+        paper={"systems": 5, "ideal_ai_v100": 17.44},
+        measured={"systems": len(SYSTEMS),
+                  "ideal_ai_v100":
+                  SYSTEMS["Tesla_V100"].ideal_arithmetic_intensity},
+    )
+    result.check("all five systems present", len(SYSTEMS) == 5)
+    result.check("ideal arithmetic intensities match Table VII within 2%",
+                 all(d < 0.02 for d in deviations.values()),
+                 ", ".join(f"{n}:{100 * d:.1f}%"
+                           for n, d in deviations.items()))
+    archs = [s.architecture.value for s in SYSTEMS.values()]
+    result.check("four GPU generations covered",
+                 {"turing", "volta", "pascal", "maxwell"} == set(archs))
+    result.artifact = table.render()
+    return result

@@ -1,0 +1,98 @@
+"""Table IX — in-depth characterization of the 37 IC models at their
+optimal batch sizes.
+
+Paper: GPU latency percentage 53.7-95.6%, roughly proportional to
+flops/memory accesses; high-batch-latency models have high GPU share;
+20 of 37 memory-bound; stage dominance varies across models.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stages import stage_summary
+from repro.analysis.tables import Column, Table
+from repro.experiments import context
+from repro.experiments.result import ExperimentResult
+from repro.models import get_model
+from repro.models.zoo import image_classification_ids
+
+
+def run(model_ids: list[int] | None = None) -> ExperimentResult:
+    ids = model_ids if model_ids is not None else image_classification_ids()
+    table = Table(
+        title="Table IX in-depth IC characterization (optimal batch, V100)",
+        columns=[
+            Column("id", "ID", "d"),
+            Column("batch", "Batch", "d"),
+            Column("latency_ms", "Batch Latency (ms)", ".2f"),
+            Column("gpu_pct", "GPU Latency %", ".2f"),
+            Column("gflops", "GPU Gflops", ".1f"),
+            Column("read_gb", "DRAM Read (GB)", ".2f"),
+            Column("write_gb", "DRAM Write (GB)", ".2f"),
+            Column("occ_pct", "Occupancy %", ".1f"),
+            Column("ai", "Arithmetic Intensity", ".2f"),
+            Column("tflops", "Throughput (TFlops)", ".2f"),
+            Column("memory_bound", "Memory Bound?"),
+            Column("stages", "Stages (lat/mem/flops/acc)", align="<"),
+        ],
+    )
+    profiles = {}
+    for model_id in ids:
+        entry = get_model(model_id)
+        batch = entry.paper.optimal_batch
+        profile = context.model_profile(model_id, batch)
+        profiles[model_id] = profile
+        stages = stage_summary(profile)
+        table.add(
+            id=model_id, batch=batch,
+            latency_ms=profile.model_latency_ms,
+            gpu_pct=profile.gpu_latency_percentage,
+            gflops=profile.flops / 1e9,
+            read_gb=profile.dram_read_bytes / 1e9,
+            write_gb=profile.dram_write_bytes / 1e9,
+            occ_pct=100 * profile.achieved_occupancy,
+            ai=profile.arithmetic_intensity,
+            tflops=profile.arithmetic_throughput_tflops,
+            memory_bound=profile.memory_bound,
+            stages="/".join(stages[k] for k in
+                            ("latency", "memory", "flops", "access")),
+        )
+
+    result = ExperimentResult(
+        exp_id="Table IX",
+        title=f"In-depth characterization of {len(ids)} IC models",
+        paper={"gpu_pct_band": "53.7-95.6", "memory_bound": 20},
+        measured={
+            "gpu_pct_band": "%.1f-%.1f" % (
+                min(p.gpu_latency_percentage for p in profiles.values()),
+                max(p.gpu_latency_percentage for p in profiles.values()),
+            ),
+            "memory_bound": sum(1 for p in profiles.values()
+                                if p.memory_bound),
+        },
+    )
+    result.check("GPU latency percentages span a wide band (paper 54-96%)",
+                 min(p.gpu_latency_percentage for p in profiles.values()) < 80
+                 and max(p.gpu_latency_percentage
+                         for p in profiles.values()) > 88)
+    heavy = [p for p in profiles.values() if p.model_latency_ms > 150]
+    light = [p for p in profiles.values() if p.model_latency_ms < 25]
+    if heavy and light:
+        mean = lambda xs: sum(xs) / len(xs)  # noqa: E731
+        result.check(
+            "high-batch-latency models have higher GPU share",
+            mean([p.gpu_latency_percentage for p in heavy])
+            > mean([p.gpu_latency_percentage for p in light]),
+        )
+    if len(ids) > 20:
+        bound = sum(1 for p in profiles.values() if p.memory_bound)
+        result.check("roughly 20 of 37 models memory-bound",
+                     12 <= bound <= 26, f"{bound}")
+    stage_kinds = {
+        "/".join(stage_summary(p)[k] for k in
+                 ("latency", "memory", "flops", "access"))
+        for p in profiles.values()
+    }
+    result.check("stage dominance varies across models",
+                 len(stage_kinds) >= 3, f"{len(stage_kinds)} patterns")
+    result.artifact = table.render()
+    return result

@@ -1,0 +1,86 @@
+"""Table X — the 10 MXNet models vs their TensorFlow counterparts.
+
+Paper: MXNet ResNets are 1.3-1.8x slower online but match TF throughput
+at the optimal batch (0.90-1.03x); MXNet MobileNets reach 1.35-1.76x the
+TF throughput because the Eigen path's excessive DRAM accesses cap TF's
+memory-bound models.
+
+Known deviation (documented in EXPERIMENTS.md): our MXNet MobileNet
+*online* latency is ~1.3x TF rather than the paper's ~1.0x parity — we
+model MXNet's per-layer dependency-engine cost synchronously while the
+real engine hides it behind GPU work for cheap layers.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import Column, Table
+from repro.experiments import context
+from repro.experiments.result import ExperimentResult
+from repro.models import MXNET_ZOO, get_model
+
+_BATCHES = (1, 64, 128, 256)
+
+
+def run(model_ids: list[int] | None = None) -> ExperimentResult:
+    ids = sorted(MXNET_ZOO) if model_ids is None else model_ids
+    table = Table(
+        title="Table X MXNet vs TensorFlow (Tesla_V100, normalized to TF)",
+        columns=[
+            Column("id", "ID", "d"),
+            Column("name", "Name", align="<"),
+            Column("online_ratio", "Norm. Online Latency", ".2f"),
+            Column("tput_ratio", "Norm. Max Throughput", ".2f"),
+            Column("paper_online", "Paper Online", ".2f"),
+            Column("paper_tput", "Paper Tput", ".2f"),
+        ],
+    )
+    ratios = {}
+    for model_id in ids:
+        tf_curve = context.curve(model_id, _BATCHES)
+        mx_curve = context.curve(model_id, _BATCHES, framework="mxnet_like")
+        online_ratio = (mx_curve.online_latency_ms
+                        / tf_curve.online_latency_ms)
+        tput_ratio = mx_curve.max_throughput / tf_curve.max_throughput
+        ratios[model_id] = (online_ratio, tput_ratio)
+        paper = MXNET_ZOO[model_id].paper
+        table.add(id=model_id, name=MXNET_ZOO[model_id].name,
+                  online_ratio=online_ratio, tput_ratio=tput_ratio,
+                  paper_online=paper.normalized_online_latency,
+                  paper_tput=paper.normalized_max_throughput)
+
+    result = ExperimentResult(
+        exp_id="Table X",
+        title="Framework comparison: 10 MXNet models vs TensorFlow",
+        paper={"resnet_tput_ratio": "0.90-1.03",
+               "mobilenet_tput_ratio": "1.35-1.76",
+               "resnet_online_ratio": "1.32-1.76"},
+        measured={
+            "resnet_tput_ratio": _band(ratios, ids, "ResNet", 1),
+            "mobilenet_tput_ratio": _band(ratios, ids, "MobileNet", 1),
+            "resnet_online_ratio": _band(ratios, ids, "ResNet", 0),
+        },
+    )
+    resnets = [m for m in ids if "ResNet" in MXNET_ZOO[m].name]
+    mobilenets = [m for m in ids if "MobileNet" in MXNET_ZOO[m].name]
+    if resnets:
+        result.check("MXNet ResNets slower online (ratio > 1.1)",
+                     all(ratios[m][0] > 1.1 for m in resnets))
+        result.check("MXNet ResNets match TF max throughput (0.85-1.15x)",
+                     all(0.85 < ratios[m][1] < 1.15 for m in resnets))
+    if mobilenets:
+        result.check("MXNet MobileNets reach >1.2x TF max throughput "
+                     "(paper 1.35-1.76x)",
+                     all(ratios[m][1] > 1.2 for m in mobilenets))
+        result.check("MobileNet advantage exceeds ResNet parity",
+                     min(ratios[m][1] for m in mobilenets)
+                     > max(ratios[m][1] for m in resnets) if resnets else True)
+    result.artifact = table.render()
+    return result
+
+
+def _band(ratios, ids, family: str, idx: int) -> str:
+    family_ids = [m for m in ids if family in MXNET_ZOO[m].name]
+    if not family_ids:
+        return "n/a"
+    values = [ratios[m][idx] for m in family_ids]
+    return f"{min(values):.2f}-{max(values):.2f}"

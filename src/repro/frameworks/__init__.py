@@ -1,0 +1,36 @@
+"""ML framework simulators.
+
+Two frameworks are modeled, mirroring the paper's evaluation:
+
+* :class:`repro.frameworks.tensorflow_like.TFSim` — TensorFlow-like:
+  decomposes batch norm into Mul/Add executed by Eigen kernels (the paper:
+  "ResNet modules get executed by TensorFlow as a Conv2D -> Mul -> Add ->
+  Relu layer sequence"), dispatches element-wise work to the
+  memory-hungry Eigen library, and exposes a ``RunOptions``-style profiler.
+* :class:`repro.frameworks.mxnet_like.MXSim` — MXNet-like: keeps batch
+  norm fused, uses leaner mshadow element-wise kernels, has a larger fixed
+  per-prediction host overhead (the paper's small-batch latency gap), and
+  exposes an ``MXSetProfilerState``-style profiler.
+
+Both execute the same :mod:`repro.frameworks.graph` IR against the
+simulated CUDA runtime, so models from :mod:`repro.models` run unmodified
+on either framework.
+"""
+
+from repro.frameworks.graph import Graph, Node
+from repro.frameworks.shapes import TensorShape, infer_shapes
+from repro.frameworks.base import Framework, PredictionResult, RunOptions
+from repro.frameworks.tensorflow_like import TFSim
+from repro.frameworks.mxnet_like import MXSim
+
+__all__ = [
+    "Framework",
+    "Graph",
+    "MXSim",
+    "Node",
+    "PredictionResult",
+    "RunOptions",
+    "TFSim",
+    "TensorShape",
+    "infer_shapes",
+]

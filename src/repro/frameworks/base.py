@@ -1,0 +1,303 @@
+"""Framework ABC and the shared layer-execution engine.
+
+A framework compiles a model graph into a layer plan (framework-specific
+rewrites, see :mod:`repro.frameworks.optimizer`) and executes it against
+the simulated CUDA runtime: per layer, it pays host-side scheduling cost,
+allocates the output tensor, launches the layer's kernels, and waits for
+the stream.  The difference between a layer's latency and its kernels'
+device time is the paper's "non-GPU latency" (Fig. 8).
+
+The built-in layer profiler mirrors the real frameworks': enabling it adds
+per-layer overhead to the prediction latency while the recorded per-layer
+latencies stay accurate (the basis of leveled experimentation, Fig. 2);
+output is produced in each framework's *native* format
+(:mod:`repro.frameworks.profiler_format`).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.frameworks.graph import Graph
+from repro.frameworks.optimizer import PlanLayer, RewriteRules, build_plan
+from repro.frameworks.profiler_format import LayerRecord
+from repro.frameworks.shapes import (
+    TensorShape,
+    infer_shapes,
+    model_weight_bytes,
+)
+from repro.sim.calibration import (
+    HOST_CALIBRATION,
+    PROFILING_CALIBRATION,
+    HostCalibration,
+    ProfilingCalibration,
+)
+from repro.sim.cuda import CudaRuntime
+from repro.sim.memory import Allocation
+
+
+@dataclass
+class RunOptions:
+    """TensorFlow-style per-call options (RunOptions.TraceLevel analog)."""
+
+    trace_level: str = "NONE"  # "NONE" | "FULL"
+
+    @property
+    def layer_profiling(self) -> bool:
+        return self.trace_level == "FULL"
+
+
+@dataclass
+class PredictionResult:
+    """Outcome of one model-prediction call."""
+
+    batch: int
+    start_ns: int
+    end_ns: int
+    output_shapes: dict[str, tuple[int, ...]]
+    #: Framework-native profile dump (None unless layer profiling was on).
+    native_profile: dict[str, Any] | None = None
+    #: High-water device memory during the prediction (weights + live
+    #: activations under liveness-based freeing).
+    peak_device_memory_bytes: int = 0
+
+    @property
+    def latency_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency_ns / 1e6
+
+
+@dataclass
+class CompiledModel:
+    """A graph compiled for one framework."""
+
+    graph: Graph
+    plan: list[PlanLayer]
+    framework: str
+    weight_bytes: int
+    _shape_cache: dict[int, dict[str, TensorShape]] = field(default_factory=dict)
+
+    def shapes(self, batch: int) -> dict[str, TensorShape]:
+        if batch not in self._shape_cache:
+            self._shape_cache[batch] = infer_shapes(self.graph, batch)
+        return self._shape_cache[batch]
+
+    @property
+    def n_layers(self) -> int:
+        return len(self.plan)
+
+    def layer_types(self) -> dict[str, int]:
+        hist: dict[str, int] = {}
+        for layer in self.plan:
+            hist[layer.layer_type] = hist.get(layer.layer_type, 0) + 1
+        return hist
+
+
+class Framework(abc.ABC):
+    """Base class for the TensorFlow-like and MXNet-like simulators."""
+
+    #: Registry key; must match a HOST_CALIBRATION / profiler-format entry.
+    name: str = ""
+    display_name: str = ""
+    #: Extra host cost per layer for host-interactive ops, as
+    #: (fixed_us, per_output_MB_us, per_image_us).  `Where` dominates
+    #: object-detection model latency through host round-trips whose work
+    #: scales with the number of images' boxes (paper Sec. IV-A).
+    HOST_EXTRA_US: dict[str, tuple[float, float, float]] = {
+        "Where": (40.0, 80.0, 95.0),
+        "Transpose": (8.0, 0.0, 0.0),
+        "Concat": (6.0, 0.0, 0.0),
+        "Reshape": (-2.0, 0.0, 0.0),  # pure metadata update
+    }
+
+    def __init__(
+        self,
+        runtime: CudaRuntime,
+        *,
+        profiling_calibration: ProfilingCalibration = PROFILING_CALIBRATION,
+    ) -> None:
+        if not self.name:
+            raise TypeError("Framework subclasses must set a registry name")
+        self.runtime = runtime
+        self.host: HostCalibration = HOST_CALIBRATION[self.name]
+        self.profiling_calibration = profiling_calibration
+        self._profiler_state = False  # MXNet-style toggle
+
+    # -- framework-specific hooks ------------------------------------------
+    @property
+    @abc.abstractmethod
+    def rewrite_rules(self) -> RewriteRules:
+        """Compilation rules (BN decomposition, type labels, naming)."""
+
+    @abc.abstractmethod
+    def emit_kernels(
+        self, layer: PlanLayer, shapes: dict[str, TensorShape]
+    ) -> list[Any]:
+        """GPU kernels launched by one layer (list of KernelSpec)."""
+
+    @abc.abstractmethod
+    def serialize_profile(self, records: list[LayerRecord]) -> dict[str, Any]:
+        """Dump layer records in the framework's native profiler format."""
+
+    # -- profiler control -----------------------------------------------------
+    def set_profiler_state(self, active: bool) -> None:
+        """MXNet-style global profiler toggle (MXSetProfilerState analog)."""
+        self._profiler_state = active
+
+    def _profiling_active(self, options: RunOptions | None) -> bool:
+        if options is not None and options.layer_profiling:
+            return True
+        return self._profiler_state
+
+    # -- compilation -------------------------------------------------------------
+    def load(self, graph: Graph) -> CompiledModel:
+        """Compile a model graph for execution on this framework."""
+        return CompiledModel(
+            graph=graph,
+            plan=build_plan(graph, self.rewrite_rules),
+            framework=self.name,
+            weight_bytes=model_weight_bytes(graph),
+        )
+
+    # -- prediction ----------------------------------------------------------------
+    def predict(
+        self,
+        model: CompiledModel,
+        batch: int,
+        options: RunOptions | None = None,
+    ) -> PredictionResult:
+        """Run one inference; all time accounting is virtual nanoseconds."""
+        if model.framework != self.name:
+            raise ValueError(
+                f"model compiled for {model.framework!r} cannot run on {self.name!r}"
+            )
+        rt = self.runtime
+        clock = rt.clock
+        profiling = self._profiling_active(options)
+        shapes = model.shapes(batch)
+
+        start_ns = clock.now()
+        clock.advance_us(self.host.run_fixed_us + self.host.per_image_us * batch)
+        weights: Allocation | None = None
+        if model.weight_bytes:
+            weights = rt.memory.alloc(
+                model.weight_bytes, tag="__weights__", timestamp_ns=clock.now()
+            )
+
+        refcounts = self._consumer_counts(model.plan)
+        live: dict[str, Allocation] = {}
+        records: list[LayerRecord] = []
+
+        for layer in model.plan:
+            out_shape = shapes[layer.source]
+            self._execute_layer(layer, out_shape, shapes, live, records, profiling)
+            self._release_dead_inputs(layer, refcounts, live)
+
+        # Copy the model output(s) back to the host.
+        for out in model.graph.outputs():
+            rt.memcpy(shapes[out.name].nbytes, kind="d2h")
+        for alloc in live.values():
+            rt.memory.free(alloc, timestamp_ns=clock.now())
+        if weights is not None:
+            rt.memory.free(weights, timestamp_ns=clock.now())
+
+        end_ns = clock.now()
+        return PredictionResult(
+            batch=batch,
+            start_ns=start_ns,
+            end_ns=end_ns,
+            output_shapes={
+                out.name: shapes[out.name].dims for out in model.graph.outputs()
+            },
+            native_profile=self.serialize_profile(records) if profiling else None,
+            peak_device_memory_bytes=rt.memory.peak_bytes,
+        )
+
+    # -- internals ---------------------------------------------------------------------
+    def _execute_layer(
+        self,
+        layer: PlanLayer,
+        out_shape: TensorShape,
+        shapes: dict[str, TensorShape],
+        live: dict[str, Allocation],
+        records: list[LayerRecord],
+        profiling: bool,
+    ) -> None:
+        rt = self.runtime
+        clock = rt.clock
+        layer_start = clock.now()
+
+        out_bytes = 0 if layer.op in ("Reshape",) else out_shape.nbytes
+        extra_fixed, extra_per_mb, extra_per_image = self.HOST_EXTRA_US.get(
+            layer.op, (0.0, 0.0, 0.0)
+        )
+        out_mb = out_bytes / 1e6
+        host_us = (
+            self.host.layer_fixed_us
+            + self.host.layer_per_mb_us * out_mb
+            + extra_fixed
+            + extra_per_mb * out_mb
+            + extra_per_image * out_shape.batch
+        )
+        clock.advance_us(max(0.5, host_us))
+
+        if out_bytes:
+            live[layer.name] = rt.memory.alloc(
+                out_bytes, tag=layer.name, timestamp_ns=clock.now()
+            )
+
+        if layer.op == "Data":
+            # Feeding the input: host-to-device copy of the input tensor.
+            rt.memcpy(out_shape.nbytes, kind="h2d")
+        else:
+            for spec in self.emit_kernels(layer, shapes):
+                rt.launch_kernel(
+                    spec.with_tags(layer_index=layer.index, layer_name=layer.name)
+                )
+            rt.stream_synchronize()
+
+        layer_end = clock.now()
+        if profiling:
+            records.append(
+                LayerRecord(
+                    index=layer.index,
+                    name=layer.name,
+                    layer_type=layer.layer_type,
+                    shape=out_shape.dims,
+                    start_ns=layer_start,
+                    end_ns=layer_end,
+                    alloc_bytes=out_bytes,
+                )
+            )
+            # The profiler's own record-keeping cost lands *after* the
+            # measured region: layer latencies stay accurate while the
+            # prediction latency inflates (Fig. 2).
+            clock.advance_us(self.profiling_calibration.framework_layer_us)
+
+    @staticmethod
+    def _consumer_counts(plan: list[PlanLayer]) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for layer in plan:
+            for inp in layer.inputs:
+                counts[inp] = counts.get(inp, 0) + 1
+        return counts
+
+    def _release_dead_inputs(
+        self,
+        layer: PlanLayer,
+        refcounts: dict[str, int],
+        live: dict[str, Allocation],
+    ) -> None:
+        for inp in layer.inputs:
+            if inp not in refcounts:
+                continue
+            refcounts[inp] -= 1
+            if refcounts[inp] == 0 and inp in live:
+                self.runtime.memory.free(
+                    live.pop(inp), timestamp_ns=self.runtime.clock.now()
+                )

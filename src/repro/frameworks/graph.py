@@ -1,0 +1,159 @@
+"""Framework-neutral model graph IR.
+
+Models in :mod:`repro.models` are defined once as a :class:`Graph` of
+:class:`Node` ops; each framework simulator compiles the graph with its own
+rewrite passes (e.g. TFSim decomposes BatchNorm) before execution.  Ops use
+framework-neutral names ("Conv2D", "BatchNorm", ...); frameworks map them
+to their native layer-type vocabulary at compile time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+#: Op types understood by the shape-inference and execution engines.
+SUPPORTED_OPS = frozenset(
+    {
+        "Input",
+        "Conv2D",
+        "DepthwiseConv2D",
+        "BatchNorm",
+        "Relu",
+        "Relu6",
+        "Sigmoid",
+        "Tanh",
+        "LRN",
+        "MaxPool",
+        "AvgPool",
+        "GlobalAvgPool",
+        "Dense",
+        "BiasAdd",
+        "Add",
+        "Mul",
+        "Concat",
+        "Flatten",
+        "Softmax",
+        "Pad",
+        "Where",
+        "Transpose",
+        "ResizeBilinear",
+        "Identity",
+    }
+)
+
+
+@dataclass
+class Node:
+    """One operator in the model graph."""
+
+    name: str
+    op: str
+    inputs: list[str] = field(default_factory=list)
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.op not in SUPPORTED_OPS:
+            raise ValueError(f"unsupported op {self.op!r} (node {self.name!r})")
+
+
+class GraphError(ValueError):
+    """Raised for malformed graphs (cycles, missing inputs, duplicates)."""
+
+
+class Graph:
+    """A directed acyclic graph of named ops with one Input node."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._nodes: dict[str, Node] = {}
+        self._order: list[str] | None = None
+        #: Free-form metadata (reported accuracy, graph size MB, task, ...).
+        self.metadata: dict[str, Any] = {}
+
+    # -- construction -------------------------------------------------------
+    def add(self, node: Node) -> Node:
+        if node.name in self._nodes:
+            raise GraphError(f"duplicate node name {node.name!r}")
+        for inp in node.inputs:
+            if inp not in self._nodes:
+                raise GraphError(
+                    f"node {node.name!r} references unknown input {inp!r} "
+                    "(nodes must be added in definition order)"
+                )
+        self._nodes[node.name] = node
+        self._order = None
+        return node
+
+    def add_op(self, name: str, op: str, inputs: Iterable[str] = (), **attrs: Any) -> Node:
+        return self.add(Node(name=name, op=op, inputs=list(inputs), attrs=attrs))
+
+    # -- access ---------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def __getitem__(self, name: str) -> Node:
+        return self._nodes[name]
+
+    def nodes(self) -> Iterator[Node]:
+        return iter(self._nodes.values())
+
+    @property
+    def input_node(self) -> Node:
+        for node in self._nodes.values():
+            if node.op == "Input":
+                return node
+        raise GraphError(f"graph {self.name!r} has no Input node")
+
+    def consumers(self, name: str) -> list[Node]:
+        return [n for n in self._nodes.values() if name in n.inputs]
+
+    def outputs(self) -> list[Node]:
+        """Nodes no other node consumes (the model outputs)."""
+        consumed = {inp for n in self._nodes.values() for inp in n.inputs}
+        return [n for n in self._nodes.values() if n.name not in consumed]
+
+    # -- ordering ----------------------------------------------------------------
+    def topological_order(self) -> list[Node]:
+        """Kahn's algorithm; insertion order breaks ties (stable layer indices)."""
+        if self._order is not None:
+            return [self._nodes[n] for n in self._order]
+        indegree = {name: 0 for name in self._nodes}
+        for node in self._nodes.values():
+            for _ in node.inputs:
+                indegree[node.name] += 1
+        ready = [name for name, deg in indegree.items() if deg == 0]
+        order: list[str] = []
+        # Process in insertion order among ready nodes for determinism.
+        insertion_rank = {name: i for i, name in enumerate(self._nodes)}
+        while ready:
+            ready.sort(key=insertion_rank.__getitem__)
+            current = ready.pop(0)
+            order.append(current)
+            for consumer in self.consumers(current):
+                # A node may consume the same producer more than once
+                # (e.g. Add(x, x)); decrement per edge, not per producer.
+                indegree[consumer.name] -= consumer.inputs.count(current)
+                if indegree[consumer.name] == 0:
+                    ready.append(consumer.name)
+        if len(order) != len(self._nodes):
+            raise GraphError(f"graph {self.name!r} contains a cycle")
+        self._order = order
+        return [self._nodes[n] for n in order]
+
+    # -- statistics -----------------------------------------------------------------
+    def op_histogram(self) -> dict[str, int]:
+        hist: dict[str, int] = {}
+        for node in self._nodes.values():
+            hist[node.op] = hist.get(node.op, 0) + 1
+        return hist
+
+    def validate(self) -> None:
+        """Raise GraphError if the graph is not a well-formed model."""
+        self.topological_order()
+        _ = self.input_node
+        if not self.outputs():
+            raise GraphError(f"graph {self.name!r} has no outputs")

@@ -1,0 +1,72 @@
+"""Lowering plan layers to library-call geometries.
+
+Shared between frameworks: both dispatch convolutions to the cuDNN-like
+library, so the ConvGeometry construction (shape + padding resolution)
+lives here.
+"""
+
+from __future__ import annotations
+
+from repro.frameworks.optimizer import PlanLayer
+from repro.frameworks.shapes import TensorShape, conv_padding_amount
+from repro.sim.cudnn import ConvGeometry
+
+
+def _pair(value: object) -> tuple[int, int]:
+    if isinstance(value, int):
+        return (value, value)
+    if isinstance(value, (tuple, list)) and len(value) == 2:
+        return (int(value[0]), int(value[1]))
+    raise ValueError(f"expected int or pair, got {value!r}")
+
+
+def conv_geometry(
+    layer: PlanLayer, shapes: dict[str, TensorShape]
+) -> ConvGeometry:
+    """Build the cuDNN geometry for a Conv2D plan layer."""
+    x = shapes[layer.source_inputs[0]]
+    kh, kw = _pair(layer.attrs["kernel"])
+    sh, sw = _pair(layer.attrs.get("strides", 1))
+    padding = layer.attrs.get("padding", "same")
+    return ConvGeometry(
+        batch=x.batch,
+        in_channels=x.channels,
+        in_h=x.height,
+        in_w=x.width,
+        out_channels=layer.attrs["filters"],
+        kernel_h=kh,
+        kernel_w=kw,
+        stride_h=sh,
+        stride_w=sw,
+        pad_h=conv_padding_amount(x.height, kh, sh, padding),
+        pad_w=conv_padding_amount(x.width, kw, sw, padding),
+    )
+
+
+def depthwise_geometry(
+    layer: PlanLayer, shapes: dict[str, TensorShape]
+) -> ConvGeometry:
+    """Build the cuDNN geometry for a DepthwiseConv2D plan layer."""
+    x = shapes[layer.source_inputs[0]]
+    kh, kw = _pair(layer.attrs["kernel"])
+    sh, sw = _pair(layer.attrs.get("strides", 1))
+    padding = layer.attrs.get("padding", "same")
+    mult = layer.attrs.get("depth_multiplier", 1)
+    return ConvGeometry(
+        batch=x.batch,
+        in_channels=x.channels,
+        in_h=x.height,
+        in_w=x.width,
+        out_channels=x.channels * mult,
+        kernel_h=kh,
+        kernel_w=kw,
+        stride_h=sh,
+        stride_w=sw,
+        pad_h=conv_padding_amount(x.height, kh, sh, padding),
+        pad_w=conv_padding_amount(x.width, kw, sw, padding),
+        groups=x.channels,
+    )
+
+
+def pool_window(layer: PlanLayer) -> tuple[int, int]:
+    return _pair(layer.attrs["kernel"])

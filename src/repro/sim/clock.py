@@ -1,0 +1,45 @@
+"""Virtual time.
+
+Every latency in this reproduction is deterministic virtual time measured
+in integer nanoseconds.  The host (framework) owns one clock; device
+streams keep their own timelines and synchronize with the host clock at
+CUDA synchronization points, mirroring how asynchronous GPU execution
+relates to host wall-clock time.
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """Monotonic virtual clock with nanosecond resolution."""
+
+    __slots__ = ("_now_ns",)
+
+    def __init__(self, start_ns: int = 0) -> None:
+        self._now_ns = int(start_ns)
+
+    def now(self) -> int:
+        """Current virtual time in nanoseconds."""
+        return self._now_ns
+
+    def advance(self, delta_ns: float) -> int:
+        """Advance by ``delta_ns`` (>= 0) nanoseconds; returns the new time."""
+        if delta_ns < 0:
+            raise ValueError(f"cannot advance clock by negative delta {delta_ns}")
+        self._now_ns += int(round(delta_ns))
+        return self._now_ns
+
+    def advance_us(self, delta_us: float) -> int:
+        return self.advance(delta_us * 1e3)
+
+    def advance_ms(self, delta_ms: float) -> int:
+        return self.advance(delta_ms * 1e6)
+
+    def advance_to(self, timestamp_ns: int) -> int:
+        """Move forward to ``timestamp_ns`` if it is in the future."""
+        if timestamp_ns > self._now_ns:
+            self._now_ns = int(timestamp_ns)
+        return self._now_ns
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(now={self._now_ns} ns)"

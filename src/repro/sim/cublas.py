@@ -1,0 +1,55 @@
+"""cuBLAS-like GEMM kernels.
+
+Fully-connected (dense/MatMul) layers dispatch to a single SGEMM kernel.
+Kernel names follow the architecture prefix convention the paper observes
+for cuDNN kernels (``volta_sgemm_*`` on Volta/Turing, ``maxwell_sgemm_*``
+on Pascal/Maxwell).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.sim.hardware import GPUSpec
+from repro.sim.kernels import KernelClass, KernelSpec
+
+_F32 = 4
+
+
+def sgemm_kernel(
+    m: int,
+    n: int,
+    k: int,
+    gpu: GPUSpec,
+    *,
+    transpose: str = "nn",
+) -> KernelSpec:
+    """One C[m,n] = A[m,k] @ B[k,n] single-precision GEMM kernel.
+
+    Effective DRAM traffic assumes tiled execution with L2 reuse: each
+    operand is streamed roughly once when the working set exceeds L2.
+    """
+    if m < 1 or n < 1 or k < 1:
+        raise ValueError(f"invalid GEMM shape m={m} n={n} k={k}")
+    tile_m, tile_n = (128, 64) if m >= 128 else (32, 32)
+    blocks = max(1, math.ceil(m / tile_m) * math.ceil(n / tile_n))
+    a_bytes = m * k * _F32
+    b_bytes = k * n * _F32
+    c_bytes = m * n * _F32
+    return KernelSpec(
+        name=f"{gpu.architecture.kernel_prefix}_sgemm_{tile_m}x{tile_n}_{transpose}",
+        klass=KernelClass.GEMM,
+        flops=2.0 * m * n * k,
+        dram_read_bytes=0.7 * (a_bytes + b_bytes),
+        dram_write_bytes=1.0 * c_bytes,
+        blocks=blocks,
+        threads_per_block=256,
+        tags={"library": "cublas", "m": m, "n": n, "k": k},
+    )
+
+
+def dense_layer_kernels(
+    batch: int, in_features: int, out_features: int, gpu: GPUSpec
+) -> list[KernelSpec]:
+    """Kernels for a dense layer (GEMM; the bias add is a framework op)."""
+    return [sgemm_kernel(batch, out_features, in_features, gpu)]

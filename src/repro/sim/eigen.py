@@ -1,0 +1,129 @@
+"""Eigen-like element-wise kernels (the TensorFlow execution path).
+
+TensorFlow dispatches element-wise layers (Mul/Add/Relu/BiasAdd/AddN) to
+Eigen tensor kernels.  The paper's framework comparison (Sec. IV-B) finds
+that "the Eigen library ... incurs excessive DRAM reads and writes", which
+becomes the performance-limiting factor for memory-bound models; the
+traffic factors here are correspondingly higher than the mshadow ones
+(:mod:`repro.sim.mshadow`).
+
+Kernel names mirror the mangled Eigen functor names the paper reports in
+Table IV (``Eigen::TensorCwiseBinaryOp<scalar_product_op>`` etc.).  Note
+that ReLU (``scalar_max_op``) performs comparisons, not floating-point
+arithmetic — Table IV reports 0 flops for it — and runs at ~98% occupancy.
+"""
+
+from __future__ import annotations
+
+from repro.sim.kernels import KernelClass, KernelSpec
+
+_F32 = 4
+
+#: Effective DRAM traffic per logical input/output byte (after L2).
+#: Calibrated against Table IV: 52 product ops move ~10.5 GB over tensors
+#: totalling ~9.5 GB at batch 256.
+_READ_FACTOR = 0.36
+_WRITE_FACTOR = 0.50
+
+
+def _binary_kernel(
+    functor: str,
+    klass: KernelClass,
+    elems: int,
+    *,
+    flops_per_elem: float,
+    n_inputs: int = 1,
+) -> KernelSpec:
+    """One TensorCwiseBinaryOp-style kernel over ``elems`` elements.
+
+    ``n_inputs`` counts full-size input tensors (a broadcast scalar/vector
+    operand contributes negligible traffic and is ignored).
+    """
+    if elems < 1:
+        raise ValueError(f"element-wise kernel needs elems >= 1, got {elems}")
+    in_bytes = n_inputs * elems * _F32
+    out_bytes = elems * _F32
+    return KernelSpec(
+        name=f"Eigen::TensorCwiseBinaryOp<{functor}>",
+        klass=klass,
+        flops=flops_per_elem * elems,
+        dram_read_bytes=_READ_FACTOR * in_bytes,
+        dram_write_bytes=_WRITE_FACTOR * out_bytes,
+        blocks=max(1, elems // 1024),
+        threads_per_block=1024,
+        tags={"library": "eigen"},
+    )
+
+
+def multiply_kernel(elems: int) -> KernelSpec:
+    """Element-wise multiply (BN scale in TF's decomposed batch norm)."""
+    return _binary_kernel(
+        "scalar_product_op", KernelClass.ELEMENTWISE_EIGEN, elems, flops_per_elem=1.0
+    )
+
+
+def add_kernel(elems: int) -> KernelSpec:
+    """Element-wise add (BN shift / BiasAdd)."""
+    return _binary_kernel(
+        "scalar_sum_op", KernelClass.ELEMENTWISE_EIGEN, elems, flops_per_elem=1.0
+    )
+
+
+def max_kernel(elems: int) -> KernelSpec:
+    """Element-wise max-with-zero (ReLU). Comparisons count 0 flops."""
+    return _binary_kernel(
+        "scalar_max_op", KernelClass.ELEMENTWISE_MAX, elems, flops_per_elem=0.0
+    )
+
+
+def addn_kernel(elems: int, n_inputs: int = 2) -> KernelSpec:
+    """N-ary tensor sum (residual skip connections)."""
+    if n_inputs < 2:
+        raise ValueError(f"AddN needs >= 2 inputs, got {n_inputs}")
+    spec = _binary_kernel(
+        "scalar_sum_op",
+        KernelClass.ELEMENTWISE_EIGEN,
+        elems,
+        flops_per_elem=float(n_inputs - 1),
+        n_inputs=n_inputs,
+    )
+    return KernelSpec(
+        name="Eigen::TensorCwiseBinaryOp<scalar_sum_op>[AddN]",
+        klass=spec.klass,
+        flops=spec.flops,
+        dram_read_bytes=spec.dram_read_bytes,
+        dram_write_bytes=spec.dram_write_bytes,
+        blocks=spec.blocks,
+        threads_per_block=spec.threads_per_block,
+        tags=dict(spec.tags),
+    )
+
+
+def sigmoid_kernel(elems: int) -> KernelSpec:
+    """Element-wise logistic (used by SSD heads / SRGAN)."""
+    return _binary_kernel(
+        "scalar_logistic_op", KernelClass.ELEMENTWISE_EIGEN, elems, flops_per_elem=4.0
+    )
+
+
+def tanh_kernel(elems: int) -> KernelSpec:
+    return _binary_kernel(
+        "scalar_tanh_op", KernelClass.ELEMENTWISE_EIGEN, elems, flops_per_elem=4.0
+    )
+
+
+def relu6_kernel(elems: int) -> KernelSpec:
+    """Clipped ReLU used by MobileNet (two comparisons, 0 flops)."""
+    spec = _binary_kernel(
+        "scalar_max_op", KernelClass.ELEMENTWISE_MAX, elems, flops_per_elem=0.0
+    )
+    return KernelSpec(
+        name="Eigen::TensorCwiseBinaryOp<scalar_clamp_op>",
+        klass=spec.klass,
+        flops=0.0,
+        dram_read_bytes=spec.dram_read_bytes,
+        dram_write_bytes=spec.dram_write_bytes,
+        blocks=spec.blocks,
+        threads_per_block=spec.threads_per_block,
+        tags=dict(spec.tags),
+    )

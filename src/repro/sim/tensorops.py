@@ -1,0 +1,125 @@
+"""Framework-agnostic tensor-manipulation kernels.
+
+Data-movement and miscellaneous ops (concat, transpose, pad, resize, LRN,
+``Where``) that both framework simulators dispatch to generic device
+kernels.  ``Where`` deserves note: the paper finds object-detection models
+are *dominated* by Where layers (Sec. IV-A) — tensor reshaping with respect
+to a user-defined operator that involves host round-trips, so the op's cost
+is mostly non-GPU; the kernel here is deliberately small and serialized.
+"""
+
+from __future__ import annotations
+
+from repro.sim.kernels import KernelClass, KernelSpec
+
+_F32 = 4
+
+
+def concat_kernel(total_elems: int, n_inputs: int) -> KernelSpec:
+    """Channel concatenation: pure data movement."""
+    nbytes = total_elems * _F32
+    return KernelSpec(
+        name="concat_variadic_kernel",
+        klass=KernelClass.MEMORY_MOVEMENT,
+        flops=0.0,
+        dram_read_bytes=0.6 * nbytes,
+        dram_write_bytes=0.6 * nbytes,
+        blocks=max(1, total_elems // 512),
+        threads_per_block=512,
+        tags={"n_inputs": n_inputs},
+    )
+
+
+def transpose_kernel(elems: int) -> KernelSpec:
+    """Layout permutation; strided access halves effective bandwidth."""
+    nbytes = elems * _F32
+    return KernelSpec(
+        name="transpose_tilemap_kernel",
+        klass=KernelClass.MEMORY_MOVEMENT,
+        flops=0.0,
+        dram_read_bytes=1.0 * nbytes,
+        dram_write_bytes=1.0 * nbytes,
+        blocks=max(1, elems // 256),
+        threads_per_block=256,
+    )
+
+
+def pad_kernel(out_elems: int) -> KernelSpec:
+    nbytes = out_elems * _F32
+    return KernelSpec(
+        name="pad_constant_kernel",
+        klass=KernelClass.MEMORY_MOVEMENT,
+        flops=0.0,
+        dram_read_bytes=0.8 * nbytes,
+        dram_write_bytes=0.9 * nbytes,
+        blocks=max(1, out_elems // 512),
+        threads_per_block=512,
+    )
+
+
+def resize_bilinear_kernel(out_elems: int, in_elems: int) -> KernelSpec:
+    """Bilinear upsample (DeepLab decoders, SRGAN upscaling)."""
+    return KernelSpec(
+        name="resize_bilinear_kernel",
+        klass=KernelClass.MEMORY_MOVEMENT,
+        flops=6.0 * out_elems,  # 4-tap interpolation
+        dram_read_bytes=0.9 * in_elems * _F32,
+        dram_write_bytes=0.9 * out_elems * _F32,
+        blocks=max(1, out_elems // 256),
+        threads_per_block=256,
+    )
+
+
+def lrn_kernel(elems: int, depth_radius: int = 5) -> KernelSpec:
+    """Local response normalization (AlexNet / GoogLeNet era)."""
+    return KernelSpec(
+        name="lrn_cross_channel_kernel",
+        klass=KernelClass.REDUCTION,
+        flops=float(elems * (2 * depth_radius + 3)),
+        dram_read_bytes=1.2 * elems * _F32,
+        dram_write_bytes=1.0 * elems * _F32,
+        blocks=max(1, elems // 256),
+        threads_per_block=256,
+    )
+
+
+def where_kernels(elems: int) -> list[KernelSpec]:
+    """`Where` op: a scan/compaction pair with poor GPU utilization.
+
+    Object-detection graphs call this repeatedly for box filtering; each
+    call moves little data, launches few blocks, and forces host syncs —
+    hence the op's latency is dominated by non-GPU time (paper Sec. IV-A).
+    """
+    nbytes = elems * _F32
+    scan = KernelSpec(
+        name="where_index_scan_kernel",
+        klass=KernelClass.WHERE_OP,
+        flops=float(elems),
+        dram_read_bytes=0.9 * nbytes,
+        dram_write_bytes=0.3 * nbytes,
+        blocks=max(1, elems // 1024),
+        threads_per_block=1024,
+    )
+    gather = KernelSpec(
+        name="where_gather_kernel",
+        klass=KernelClass.WHERE_OP,
+        flops=0.0,
+        dram_read_bytes=0.6 * nbytes,
+        dram_write_bytes=0.6 * nbytes,
+        blocks=max(1, elems // 1024),
+        threads_per_block=1024,
+    )
+    return [scan, gather]
+
+
+def mean_reduce_kernel(in_elems: int, out_elems: int) -> KernelSpec:
+    """Global average pool / Mean reduction."""
+    return KernelSpec(
+        name="reduce_mean_columns_kernel",
+        klass=KernelClass.REDUCTION,
+        flops=float(in_elems),
+        dram_read_bytes=1.0 * in_elems * _F32,
+        dram_write_bytes=1.0 * out_elems * _F32,
+        blocks=max(1, in_elems // 1024),
+        threads_per_block=1024,
+    )

@@ -1,0 +1,48 @@
+"""Distributed-tracing substrate used by XSP to aggregate across-stack profiles.
+
+The design follows Section III-A of the paper: every profiler in the HW/SW
+stack is turned into a *tracer*, every profiled event becomes a *span*
+tagged with its stack level, and a *tracing server* aggregates the spans
+published by all tracers into a single timeline trace.  Parent/child links
+that the profilers themselves cannot provide (GPU kernels -> layers) are
+reconstructed offline with an interval tree (:mod:`repro.tracing.correlation`).
+"""
+
+from repro.tracing.span import (
+    Level,
+    LogEntry,
+    Span,
+    SpanKind,
+    new_span_id,
+    new_trace_id,
+)
+from repro.tracing.tracer import BufferingTracer, NoopTracer, Tracer
+from repro.tracing.server import TracingServer
+from repro.tracing.trace import Trace
+from repro.tracing.interval_tree import Interval, IntervalTree
+from repro.tracing.correlation import (
+    AmbiguousParentError,
+    CorrelationResult,
+    correlate_launch_execution,
+    reconstruct_parents,
+)
+
+__all__ = [
+    "AmbiguousParentError",
+    "BufferingTracer",
+    "CorrelationResult",
+    "Interval",
+    "IntervalTree",
+    "Level",
+    "LogEntry",
+    "NoopTracer",
+    "Span",
+    "SpanKind",
+    "Trace",
+    "Tracer",
+    "TracingServer",
+    "correlate_launch_execution",
+    "new_span_id",
+    "new_trace_id",
+    "reconstruct_parents",
+]

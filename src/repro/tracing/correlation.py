@@ -1,0 +1,236 @@
+"""Offline correlation of across-stack spans.
+
+Two reconstruction problems are solved here, following paper Sec. III-A/B:
+
+1. **Parent-child reconstruction.**  Disjoint profilers cannot annotate
+   children with their parents (e.g. GPU kernel spans with layer spans).
+   XSP builds an interval tree over candidate parent spans and assigns each
+   orphan span the *tightest* span at the next-higher stack level whose
+   interval contains it.  If several mutually-overlapping candidates
+   contain a span (parallel events), its parentage is *ambiguous* and a
+   serialized re-run (``CUDA_LAUNCH_BLOCKING=1``) is required.
+
+2. **Launch/execution correlation.**  Asynchronous GPU kernels appear as a
+   host-side *launch span* and a device-side *execution span* carrying the
+   same ``correlation_id``.  The merged kernel view takes its parent from
+   the launch span (the launch happens inside the layer; the execution may
+   complete after the layer returns) and its performance information from
+   the execution span.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.tracing.interval_tree import Interval, IntervalTree
+from repro.tracing.span import Level, Span, SpanKind
+from repro.tracing.trace import Trace
+
+
+class AmbiguousParentError(RuntimeError):
+    """Raised when parallel events make parent assignment ambiguous.
+
+    The remedy, per the paper, is another profiling run with parallel
+    events serialized (e.g. ``CUDA_LAUNCH_BLOCKING=1`` for CUDA or
+    ``OMP_NUM_THREADS=1`` for OpenMP).
+    """
+
+    def __init__(self, span: Span, candidates: list[Span]) -> None:
+        self.span = span
+        self.candidates = candidates
+        names = ", ".join(c.name for c in candidates[:4])
+        super().__init__(
+            f"span {span.name!r} [{span.start_ns}, {span.end_ns}] has "
+            f"{len(candidates)} overlapping candidate parents ({names}); "
+            "re-run with serialized execution (CUDA_LAUNCH_BLOCKING=1) to "
+            "disambiguate"
+        )
+
+
+@dataclass
+class MergedKernel:
+    """Launch + execution span pair merged into one logical kernel record."""
+
+    name: str
+    correlation_id: int
+    launch: Span
+    execution: Span
+    parent_id: int | None
+
+    @property
+    def duration_ns(self) -> int:
+        """Effective kernel duration comes from the execution span."""
+        return self.execution.duration_ns
+
+    @property
+    def metrics(self) -> dict[str, Any]:
+        """GPU metrics are attached as metadata on the execution span."""
+        return {
+            k: v
+            for k, v in self.execution.tags.items()
+            if k.startswith("metric.")
+        }
+
+
+@dataclass
+class CorrelationResult:
+    """Output of :func:`reconstruct_parents`."""
+
+    trace: Trace
+    #: span_id -> assigned parent span_id (only for spans assigned here)
+    assigned: dict[int, int] = field(default_factory=dict)
+    #: spans whose parentage was ambiguous (when ``strict=False``)
+    ambiguous: list[Span] = field(default_factory=list)
+
+    @property
+    def needs_serialized_rerun(self) -> bool:
+        return bool(self.ambiguous)
+
+
+def correlate_launch_execution(trace: Trace) -> list[MergedKernel]:
+    """Pair launch/execution spans by ``correlation_id``.
+
+    Execution spans inherit the launch span's parent, mirroring how XSP
+    "uses the launch span's parent as the parent of the asynchronous
+    function and uses the execution span to get the performance
+    information".
+    """
+    launches: dict[int, Span] = {}
+    executions: dict[int, Span] = {}
+    for s in trace.spans:
+        if s.correlation_id is None:
+            continue
+        if s.kind == SpanKind.LAUNCH:
+            if s.correlation_id in launches:
+                raise ValueError(
+                    f"duplicate launch span for correlation_id={s.correlation_id}"
+                )
+            launches[s.correlation_id] = s
+        elif s.kind == SpanKind.EXECUTION:
+            if s.correlation_id in executions:
+                raise ValueError(
+                    f"duplicate execution span for correlation_id={s.correlation_id}"
+                )
+            executions[s.correlation_id] = s
+
+    merged: list[MergedKernel] = []
+    for cid, launch in sorted(launches.items()):
+        execution = executions.get(cid)
+        if execution is None:
+            # Launch captured but activity record lost: skip (CUPTI permits this).
+            continue
+        merged.append(
+            MergedKernel(
+                name=execution.name,
+                correlation_id=cid,
+                launch=launch,
+                execution=execution,
+                parent_id=launch.parent_id,
+            )
+        )
+        # Propagate parent onto the execution span for downstream queries.
+        if execution.parent_id is None and launch.parent_id is not None:
+            execution.parent_id = launch.parent_id
+    return merged
+
+
+def _parent_level_map(levels: list[Level]) -> dict[Level, Level | None]:
+    """For each present level, the closest present level above it."""
+    ordered = sorted(levels)
+    out: dict[Level, Level | None] = {}
+    for i, lvl in enumerate(ordered):
+        out[lvl] = ordered[i - 1] if i > 0 else None
+    return out
+
+
+def reconstruct_parents(trace: Trace, *, strict: bool = True) -> CorrelationResult:
+    """Assign parents to orphan spans via interval-tree containment.
+
+    Only spans on the *host* timeline participate as children directly:
+    device-side execution spans receive their parent through
+    :func:`correlate_launch_execution` (which must run afterwards or the
+    execution spans stay parentless until merged).  For each orphan span,
+    candidate parents are spans one present-level higher whose interval
+    contains the orphan's interval; the tightest nested candidate wins.
+
+    ``strict=True`` raises :class:`AmbiguousParentError` on parallel-event
+    ambiguity; ``strict=False`` records ambiguous spans in the result so a
+    caller can trigger the serialized re-run.
+    """
+    levels = trace.levels_present()
+    parent_of_level = _parent_level_map(levels)
+
+    trees: dict[Level, IntervalTree[Span]] = {}
+    for lvl in levels:
+        trees[lvl] = IntervalTree(
+            Interval(s.start_ns, s.end_ns, s) for s in trace.at_level(lvl)
+        )
+
+    result = CorrelationResult(trace=trace)
+    for span in trace.sorted_spans():
+        if span.parent_id is not None:
+            continue
+        if span.kind == SpanKind.EXECUTION:
+            continue  # handled by launch/execution correlation
+        target_level = parent_of_level.get(span.level)
+        if target_level is None:
+            continue  # top-of-stack spans legitimately have no parent
+        candidates = [
+            iv.data
+            for iv in trees[target_level].containing(
+                Interval(span.start_ns, span.end_ns)
+            )
+            if iv.data.span_id != span.span_id
+        ]
+        if not candidates:
+            continue
+        chosen = _choose_parent(span, candidates, strict=strict, result=result)
+        if chosen is not None:
+            span.parent_id = chosen.span_id
+            result.assigned[span.span_id] = chosen.span_id
+    return result
+
+
+def _choose_parent(
+    span: Span,
+    candidates: list[Span],
+    *,
+    strict: bool,
+    result: CorrelationResult,
+) -> Span | None:
+    if len(candidates) == 1:
+        return candidates[0]
+    # Multiple containing candidates: fine if they are strictly nested
+    # (pick the tightest); ambiguous if any two merely overlap — including
+    # the identical-interval case (two parallel layers spanning the same
+    # window), which only a serialized re-run can resolve.
+    ordered = sorted(candidates, key=lambda s: (s.duration_ns, s.start_ns))
+    for i, outer in enumerate(ordered):
+        for inner in ordered[:i]:
+            strictly_nested = outer.contains(inner) and (
+                (outer.start_ns, outer.end_ns)
+                != (inner.start_ns, inner.end_ns)
+            )
+            if not strictly_nested:
+                if strict:
+                    raise AmbiguousParentError(span, candidates)
+                result.ambiguous.append(span)
+                return None
+    return ordered[0]
+
+
+def build_hierarchy(trace: Trace, *, strict: bool = True) -> CorrelationResult:
+    """Full correlation pass: parents first, then launch/execution merging."""
+    result = reconstruct_parents(trace, strict=strict)
+    correlate_launch_execution(trace)
+    return result
+
+
+def kernels_by_parent(trace: Trace) -> dict[int | None, list[MergedKernel]]:
+    """Group merged kernels by their (layer) parent span id."""
+    grouped: dict[int | None, list[MergedKernel]] = defaultdict(list)
+    for mk in correlate_launch_execution(trace):
+        grouped[mk.parent_id].append(mk)
+    return dict(grouped)

@@ -1,0 +1,105 @@
+"""Trace persistence: JSON serialization and deserialization.
+
+The paper's tracing server can run remotely; spans are published over the
+wire and traces outlive the profiled process.  This module provides the
+equivalent durability: a lossless JSON round-trip for traces so profiles
+can be archived and re-analyzed offline (the analysis pipeline consumes
+traces, not live runs).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.tracing.span import Level, LogEntry, Span, SpanKind
+from repro.tracing.trace import Trace
+
+#: Format marker for forward compatibility.
+FORMAT_VERSION = 1
+
+
+def span_to_dict(span: Span) -> dict[str, Any]:
+    return {
+        "name": span.name,
+        "start_ns": span.start_ns,
+        "end_ns": span.end_ns,
+        "level": span.level.name,
+        "span_id": span.span_id,
+        "trace_id": span.trace_id,
+        "parent_id": span.parent_id,
+        "kind": span.kind.value,
+        "correlation_id": span.correlation_id,
+        "tags": {k: _jsonable(v) for k, v in span.tags.items()},
+        "logs": [
+            {"timestamp_ns": entry.timestamp_ns, "fields": dict(entry.fields)}
+            for entry in span.logs
+        ],
+    }
+
+
+def span_from_dict(data: dict[str, Any]) -> Span:
+    return Span(
+        name=data["name"],
+        start_ns=data["start_ns"],
+        end_ns=data["end_ns"],
+        level=Level[data["level"]],
+        span_id=data["span_id"],
+        trace_id=data.get("trace_id", 0),
+        parent_id=data.get("parent_id"),
+        kind=SpanKind(data.get("kind", "internal")),
+        correlation_id=data.get("correlation_id"),
+        tags=dict(data.get("tags", {})),
+        logs=[
+            LogEntry(timestamp_ns=e["timestamp_ns"], fields=dict(e["fields"]))
+            for e in data.get("logs", [])
+        ],
+    )
+
+
+def trace_to_json(trace: Trace) -> str:
+    """Serialize a trace (spans + metadata) to a JSON document."""
+    return json.dumps(
+        {
+            "format_version": FORMAT_VERSION,
+            "trace_id": trace.trace_id,
+            "metadata": {k: _jsonable(v) for k, v in trace.metadata.items()},
+            "spans": [span_to_dict(s) for s in trace.spans],
+        }
+    )
+
+
+def trace_from_json(document: str) -> Trace:
+    """Reconstruct a trace from :func:`trace_to_json` output."""
+    data = json.loads(document)
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported trace format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    trace = Trace(trace_id=data["trace_id"], metadata=dict(data["metadata"]))
+    for span_data in data["spans"]:
+        span = span_from_dict(span_data)
+        trace.spans.append(span)  # keep the original trace_id on each span
+    return trace
+
+
+def save_trace(trace: Trace, path: str) -> None:
+    with open(path, "w") as fh:
+        fh.write(trace_to_json(trace))
+
+
+def load_trace(path: str) -> Trace:
+    with open(path) as fh:
+        return trace_from_json(fh.read())
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return repr(value)

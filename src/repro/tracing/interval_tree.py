@@ -1,0 +1,172 @@
+"""Centered interval tree used for parent-child reconstruction.
+
+The paper (Sec. III-A) reconstructs missing parent-child relationships by
+building an interval tree over span start/end timestamps and checking
+interval set inclusion.  This module provides a classic centered interval
+tree supporting stabbing queries (all intervals containing a point) and
+containment queries (all intervals containing a query interval), both in
+O(log n + k).
+
+The implementation is self-contained (no third-party interval library) and
+deliberately favours clarity: trees are built once per trace and queried
+many times.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Any, Generic, Iterable, Iterator, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class Interval(Generic[T]):
+    """A half-open-agnostic interval ``[start, end]`` carrying a payload.
+
+    Containment checks treat both endpoints as inclusive, matching the
+    paper's span-inclusion rule (a kernel launched at exactly the layer's
+    start timestamp belongs to that layer).
+    """
+
+    start: int
+    end: int
+    data: T = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"interval end {self.end} precedes start {self.start}")
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+    def contains_point(self, point: int) -> bool:
+        return self.start <= point <= self.end
+
+    def contains_interval(self, other: "Interval[Any]") -> bool:
+        return self.start <= other.start and other.end <= self.end
+
+    def overlaps(self, other: "Interval[Any]") -> bool:
+        return self.start <= other.end and other.start <= self.end
+
+
+@dataclass
+class _Node(Generic[T]):
+    center: int
+    # Intervals crossing `center`, sorted by start ascending / end descending.
+    by_start: List[Interval[T]] = field(default_factory=list)
+    by_end: List[Interval[T]] = field(default_factory=list)
+    left: Optional["_Node[T]"] = None
+    right: Optional["_Node[T]"] = None
+
+
+class IntervalTree(Generic[T]):
+    """Static centered interval tree.
+
+    Built once from an iterable of :class:`Interval`; supports:
+
+    * :meth:`stab` — all intervals containing a point,
+    * :meth:`containing` — all intervals containing a query interval,
+    * :meth:`overlapping` — all intervals overlapping a query interval.
+    """
+
+    def __init__(self, intervals: Iterable[Interval[T]] = ()) -> None:
+        self._intervals: list[Interval[T]] = list(intervals)
+        self._root = self._build(self._intervals)
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def __iter__(self) -> Iterator[Interval[T]]:
+        return iter(self._intervals)
+
+    # -- construction ----------------------------------------------------
+    @staticmethod
+    def _build(intervals: list[Interval[T]]) -> Optional[_Node[T]]:
+        if not intervals:
+            return None
+        endpoints = sorted({iv.start for iv in intervals} | {iv.end for iv in intervals})
+        center = endpoints[len(endpoints) // 2]
+        crossing: list[Interval[T]] = []
+        lefts: list[Interval[T]] = []
+        rights: list[Interval[T]] = []
+        for iv in intervals:
+            if iv.end < center:
+                lefts.append(iv)
+            elif iv.start > center:
+                rights.append(iv)
+            else:
+                crossing.append(iv)
+        node = _Node(center=center)
+        node.by_start = sorted(crossing, key=lambda iv: iv.start)
+        node.by_end = sorted(crossing, key=lambda iv: -iv.end)
+        node.left = IntervalTree._build(lefts)
+        node.right = IntervalTree._build(rights)
+        return node
+
+    # -- queries ----------------------------------------------------------
+    def stab(self, point: int) -> list[Interval[T]]:
+        """All intervals containing ``point`` (inclusive endpoints)."""
+        out: list[Interval[T]] = []
+        node = self._root
+        while node is not None:
+            if point < node.center:
+                # Crossing intervals sorted by start: those starting <= point
+                # necessarily contain the point (they all end >= center > point).
+                starts = [iv.start for iv in node.by_start]
+                idx = bisect.bisect_right(starts, point)
+                out.extend(node.by_start[:idx])
+                node = node.left
+            elif point > node.center:
+                # Sorted by end descending: those ending >= point contain it.
+                for iv in node.by_end:
+                    if iv.end < point:
+                        break
+                    out.append(iv)
+                node = node.right
+            else:
+                out.extend(node.by_start)
+                node = None
+        return out
+
+    def containing(self, query: Interval[Any]) -> list[Interval[T]]:
+        """All intervals that fully contain ``query``."""
+        return [iv for iv in self.stab(query.start) if iv.end >= query.end]
+
+    def overlapping(self, query: Interval[Any]) -> list[Interval[T]]:
+        """All intervals overlapping ``query`` (inclusive endpoints)."""
+        out: list[Interval[T]] = []
+        self._overlap(self._root, query, out)
+        return out
+
+    def _overlap(
+        self, node: Optional[_Node[T]], query: Interval[Any], out: list[Interval[T]]
+    ) -> None:
+        if node is None:
+            return
+        if query.start <= node.center <= query.end:
+            out.extend(node.by_start)
+            self._overlap(node.left, query, out)
+            self._overlap(node.right, query, out)
+        elif query.end < node.center:
+            # Crossing intervals start <= center; they overlap iff start <= query.end.
+            starts = [iv.start for iv in node.by_start]
+            idx = bisect.bisect_right(starts, query.end)
+            out.extend(node.by_start[:idx])
+            self._overlap(node.left, query, out)
+        else:  # query.start > node.center
+            for iv in node.by_end:
+                if iv.end < query.start:
+                    break
+                out.append(iv)
+            self._overlap(node.right, query, out)
+
+    # -- helpers -----------------------------------------------------------
+    def tightest_containing(self, query: Interval[Any]) -> Optional[Interval[T]]:
+        """The smallest-length interval containing ``query``, or ``None``."""
+        candidates = self.containing(query)
+        if not candidates:
+            return None
+        return min(candidates, key=lambda iv: (iv.length, iv.start))

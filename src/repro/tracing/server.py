@@ -1,0 +1,82 @@
+"""In-process tracing server.
+
+The paper publishes spans from each tracer to a tracing server (local or
+remote) which aggregates them into one application timeline trace.  This
+reproduction runs everything in one process, so the server is a thread-safe
+in-memory collector keyed by ``trace_id``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Iterable
+
+from repro.tracing.span import Span, new_trace_id
+from repro.tracing.trace import Trace
+
+
+class TracingServer:
+    """Aggregates spans published by tracers into per-trace timelines."""
+
+    def __init__(self) -> None:
+        # Reentrant: publish() may open a trace on demand while holding it.
+        self._lock = threading.RLock()
+        self._traces: dict[int, Trace] = {}
+        self._active_trace_id: int | None = None
+        self._subscribers: list[Callable[[Span], None]] = []
+
+    # -- trace lifecycle ----------------------------------------------------
+    def begin_trace(self, **metadata: object) -> int:
+        """Open a new trace and make it the active destination for spans."""
+        trace_id = new_trace_id()
+        with self._lock:
+            self._traces[trace_id] = Trace(trace_id=trace_id, metadata=dict(metadata))
+            self._active_trace_id = trace_id
+        return trace_id
+
+    def end_trace(self, trace_id: int) -> Trace:
+        """Close a trace and return the aggregated timeline."""
+        with self._lock:
+            if self._active_trace_id == trace_id:
+                self._active_trace_id = None
+            return self._traces[trace_id]
+
+    @property
+    def active_trace_id(self) -> int | None:
+        return self._active_trace_id
+
+    # -- publication ----------------------------------------------------------
+    def publish(self, span: Span) -> None:
+        """Publish one span into the active trace (or its own ``trace_id``)."""
+        with self._lock:
+            tid = span.trace_id or self._active_trace_id
+            if tid is None:
+                tid = self.begin_trace()
+            trace = self._traces.setdefault(tid, Trace(trace_id=tid))
+            trace.add(span)
+            subscribers = list(self._subscribers)
+        for fn in subscribers:
+            fn(span)
+
+    def publish_many(self, spans: Iterable[Span]) -> None:
+        for s in spans:
+            self.publish(s)
+
+    def subscribe(self, fn: Callable[[Span], None]) -> None:
+        """Register a callback invoked for every published span (for tooling)."""
+        with self._lock:
+            self._subscribers.append(fn)
+
+    # -- retrieval --------------------------------------------------------------
+    def get_trace(self, trace_id: int) -> Trace:
+        with self._lock:
+            return self._traces[trace_id]
+
+    def traces(self) -> list[Trace]:
+        with self._lock:
+            return list(self._traces.values())
+
+    def clear(self) -> None:
+        with self._lock:
+            self._traces.clear()
+            self._active_trace_id = None

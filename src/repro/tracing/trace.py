@@ -1,0 +1,136 @@
+"""Timeline trace: the aggregation of all spans published for one evaluation.
+
+A :class:`Trace` is what the tracing server hands to the analysis pipeline.
+It provides level-based queries, child lookup, and export to the Chrome
+``chrome://tracing`` JSON format for visual inspection.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.tracing.span import Level, Span, SpanKind
+
+
+@dataclass
+class Trace:
+    """An ordered collection of spans sharing a ``trace_id``."""
+
+    trace_id: int
+    spans: list[Span] = field(default_factory=list)
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    # -- mutation ---------------------------------------------------------
+    def add(self, span: Span) -> None:
+        span.trace_id = self.trace_id
+        self.spans.append(span)
+
+    def extend(self, spans: Iterable[Span]) -> None:
+        for s in spans:
+            self.add(s)
+
+    # -- queries ------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self.spans)
+
+    def sorted_spans(self) -> list[Span]:
+        """Spans sorted by (start, -duration) — parents before children."""
+        return sorted(self.spans, key=lambda s: (s.start_ns, -s.duration_ns))
+
+    def at_level(self, level: Level) -> list[Span]:
+        return [s for s in self.spans if s.level == level]
+
+    def of_kind(self, kind: SpanKind) -> list[Span]:
+        return [s for s in self.spans if s.kind == kind]
+
+    def find(self, predicate: Callable[[Span], bool]) -> list[Span]:
+        return [s for s in self.spans if predicate(s)]
+
+    def first_named(self, name: str) -> Span | None:
+        for s in self.spans:
+            if s.name == name:
+                return s
+        return None
+
+    def by_id(self) -> dict[int, Span]:
+        return {s.span_id: s for s in self.spans}
+
+    def children_of(self, span: Span) -> list[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def children_index(self) -> dict[int | None, list[Span]]:
+        """Map parent span id -> children, in start order."""
+        index: dict[int | None, list[Span]] = defaultdict(list)
+        for s in self.spans:
+            index[s.parent_id].append(s)
+        for kids in index.values():
+            kids.sort(key=lambda s: s.start_ns)
+        return dict(index)
+
+    def roots(self) -> list[Span]:
+        ids = {s.span_id for s in self.spans}
+        return [s for s in self.spans if s.parent_id is None or s.parent_id not in ids]
+
+    def levels_present(self) -> list[Level]:
+        return sorted({s.level for s in self.spans})
+
+    def span_extent_ns(self) -> tuple[int, int]:
+        """(min start, max end) across all spans; (0, 0) when empty."""
+        if not self.spans:
+            return (0, 0)
+        return (
+            min(s.start_ns for s in self.spans),
+            max(s.end_ns for s in self.spans),
+        )
+
+    # -- export ---------------------------------------------------------------
+    def to_chrome_trace(self) -> str:
+        """Serialize to the Chrome tracing JSON format (one complete event per span)."""
+        events = []
+        for s in self.spans:
+            events.append(
+                {
+                    "name": s.name,
+                    "cat": s.level.name,
+                    "ph": "X",
+                    "ts": s.start_ns / 1e3,  # chrome uses microseconds
+                    "dur": s.duration_ns / 1e3,
+                    "pid": self.trace_id,
+                    "tid": int(s.level),
+                    "args": {
+                        "span_id": s.span_id,
+                        "parent_id": s.parent_id,
+                        "kind": s.kind.value,
+                        "correlation_id": s.correlation_id,
+                        **{k: _jsonable(v) for k, v in s.tags.items()},
+                    },
+                }
+            )
+        return json.dumps({"traceEvents": events}, indent=None)
+
+    def summary(self) -> dict[str, Any]:
+        """Compact description used in test assertions and reports."""
+        per_level = defaultdict(int)
+        for s in self.spans:
+            per_level[s.level.name] += 1
+        lo, hi = self.span_extent_ns()
+        return {
+            "trace_id": self.trace_id,
+            "n_spans": len(self.spans),
+            "per_level": dict(per_level),
+            "extent_ms": (hi - lo) / 1e6,
+        }
+
+
+def _jsonable(value: Any) -> Any:
+    try:
+        json.dumps(value)
+        return value
+    except (TypeError, ValueError):
+        return repr(value)

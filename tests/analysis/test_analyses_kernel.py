@@ -1,0 +1,117 @@
+"""A8-A15 tests (kernel-level and correlated analyses)."""
+
+import pytest
+
+from repro.analysis import (
+    bound_by_layer_type,
+    bound_counts,
+    gpu_vs_nongpu_series,
+    gpu_vs_nongpu_table,
+    kernel_by_layer_table,
+    kernel_by_name_table,
+    kernel_information_table,
+    kernel_roofline,
+    layer_dram_read_series,
+    layer_flops_series,
+    layer_roofline,
+    model_aggregate_row,
+    model_aggregate_table,
+    model_non_gpu_latency_ms,
+    model_roofline_points,
+    top_kernels,
+    top_layers_by_kernels,
+)
+
+
+def test_a8_kernel_table(cnn_profile):
+    table = kernel_information_table(cnn_profile)
+    assert len(table) == len(cnn_profile.kernels)
+    top = top_kernels(cnn_profile, 3)
+    assert top.rows[0]["latency_ms"] >= top.rows[-1]["latency_ms"]
+    for row in table:
+        assert row["layer_index"] > 0
+
+
+def test_a9_roofline_points(cnn_profile):
+    points = kernel_roofline(cnn_profile)
+    assert points
+    counts = bound_counts(cnn_profile)
+    assert counts["memory-bound"] + counts["compute-bound"] == len(points)
+    assert counts["memory-bound"] > 0  # eigen kernels
+
+
+def test_a10_aggregation_rules(cnn_profile):
+    table = kernel_by_name_table(cnn_profile)
+    # Sum of counts equals total kernel invocations.
+    assert sum(r["count"] for r in table) == len(cnn_profile.kernels)
+    # Aggregated latency sums to the model's kernel latency.
+    assert sum(r["latency_ms"] for r in table) == pytest.approx(
+        cnn_profile.kernel_latency_ms
+    )
+    # Occupancy is latency-weighted, so it stays within [0, 100].
+    assert all(0 <= r["occupancy_pct"] <= 100 for r in table)
+
+
+def test_a11_kernel_by_layer(cnn_profile):
+    table = kernel_by_layer_table(cnn_profile)
+    assert len(table) == sum(1 for l in cnn_profile.layers if l.kernels)
+    top = top_layers_by_kernels(cnn_profile, 2)
+    assert len(top) == 2
+    for row in table:
+        assert row["kernel_latency_ms"] <= row["latency_ms"] * 1.05
+
+
+def test_a12_series_lengths(cnn_profile):
+    flops = layer_flops_series(cnn_profile)
+    reads = layer_dram_read_series(cnn_profile)
+    assert len(flops) == len(reads) == len(cnn_profile.layers)
+    assert sum(v for _, v in flops) == pytest.approx(cnn_profile.flops / 1e9)
+
+
+def test_a13_gpu_vs_nongpu(cnn_profile):
+    series = gpu_vs_nongpu_series(cnn_profile)
+    for _, gpu_share, non_gpu_share in series:
+        assert 0 <= gpu_share <= 1
+        assert gpu_share + non_gpu_share == pytest.approx(1.0)
+    table = gpu_vs_nongpu_table(cnn_profile)
+    assert len(table) == len(cnn_profile.layers)
+    assert model_non_gpu_latency_ms(cnn_profile) > 0
+
+
+def test_a14_layer_roofline(cnn_profile):
+    points = layer_roofline(cnn_profile)
+    assert points
+    bounds = bound_by_layer_type(cnn_profile)
+    # Paper Fig. 9: conv compute-bound, element-wise memory-bound.
+    assert bounds["Conv2D"] == "compute-bound"
+    assert bounds["Mul"] == "memory-bound"
+    assert bounds["Relu"] == "memory-bound"
+
+
+def test_a15_aggregate_row_and_table(resnet50_sweep):
+    row = model_aggregate_row(resnet50_sweep[256])
+    assert row["batch"] == 256
+    assert row["kernel_latency_ms"] < row["model_latency_ms"]
+    table = model_aggregate_table(resnet50_sweep, model_name="r50",
+                                  system="Tesla_V100")
+    assert [r["batch"] for r in table] == sorted(resnet50_sweep)
+
+
+def test_a15_fig10_memory_bound_dip(resnet50_sweep):
+    """Fig. 10 / Table VI: memory-bound at batch 16 and 32 only."""
+    bound = {b: p.memory_bound for b, p in resnet50_sweep.items()}
+    assert bound[16] and bound[32]
+    assert not bound[1] and not bound[64] and not bound[256]
+
+
+def test_a15_occupancy_rises_toward_optimum(resnet50_sweep):
+    """Table VI: achieved occupancy grows with batch size."""
+    occ = {b: p.achieved_occupancy for b, p in resnet50_sweep.items()}
+    assert occ[256] > occ[16] > occ[1]
+
+
+def test_model_roofline_points(resnet50_sweep):
+    points = model_roofline_points(resnet50_sweep)
+    assert [p.label for p in points] == [
+        f"bs{b}" for b in sorted(resnet50_sweep)
+    ]

@@ -1,0 +1,117 @@
+"""Comparison and export module tests."""
+
+import pytest
+
+from repro.analysis.compare import (
+    compare_frameworks,
+    compare_models,
+    compare_systems,
+    comparison_table,
+    speedup_summary,
+)
+from repro.analysis.export import (
+    save_table,
+    table_from_json,
+    table_to_csv,
+    table_to_json,
+)
+from repro.analysis.tables import Column, Table
+from repro.core import AnalysisPipeline, XSPSession
+
+
+@pytest.fixture(scope="module")
+def two_framework_profiles(cnn_graph):
+    out = []
+    for framework in ("tensorflow_like", "mxnet_like"):
+        pipeline = AnalysisPipeline(
+            XSPSession("Tesla_V100", framework), runs_per_level=1
+        )
+        out.append(pipeline.profile_model(cnn_graph, 4))
+    return out
+
+
+def test_comparison_table_rows(two_framework_profiles):
+    table = comparison_table(
+        {p.framework: p for p in two_framework_profiles}
+    )
+    assert len(table) == 2
+    assert {r["label"] for r in table} == {"tensorflow_like", "mxnet_like"}
+    for row in table:
+        assert row["latency_ms"] > 0 and 0 < row["gpu_pct"] <= 100
+
+
+def test_compare_frameworks_validates_dimensions(two_framework_profiles):
+    table = compare_frameworks(two_framework_profiles)
+    assert "Framework comparison" in table.title
+
+
+def test_compare_rejects_mixed_dimensions(two_framework_profiles, cnn_graph):
+    other_batch = AnalysisPipeline(
+        XSPSession("Tesla_V100", "tensorflow_like"), runs_per_level=1
+    ).profile_model(cnn_graph, 8)
+    with pytest.raises(ValueError, match="differ in batch"):
+        compare_frameworks([two_framework_profiles[0], other_batch])
+    with pytest.raises(ValueError, match="differ in framework"):
+        compare_models(two_framework_profiles)
+
+
+def test_compare_systems(cnn_graph):
+    profiles = [
+        AnalysisPipeline(XSPSession(system, "tensorflow_like"),
+                         runs_per_level=1).profile_model(cnn_graph, 4)
+        for system in ("Tesla_V100", "Tesla_M60")
+    ]
+    table = compare_systems(profiles)
+    rows = {r["label"]: r for r in table}
+    assert rows["Tesla_V100"]["latency_ms"] < rows["Tesla_M60"]["latency_ms"]
+
+
+def test_speedup_summary(two_framework_profiles):
+    tf, mx = two_framework_profiles
+    summary = speedup_summary(baseline=mx, candidate=tf)
+    assert summary["speedup"] == pytest.approx(
+        mx.model_latency_ms / tf.model_latency_ms
+    )
+    assert summary["throughput_ratio"] > 0
+
+
+def test_empty_comparison_rejected():
+    with pytest.raises(ValueError):
+        comparison_table({})
+
+
+# -- export ----------------------------------------------------------------
+
+
+def sample_table():
+    t = Table("t", [Column("name", "Name"), Column("ok", "OK?"),
+                    Column("value", "Value", ".2f")])
+    t.add(name="a", ok=True, value=1.5)
+    t.add(name="b", ok=False, value=None)
+    return t
+
+
+def test_csv_export():
+    csv_text = table_to_csv(sample_table())
+    lines = csv_text.strip().splitlines()
+    assert lines[0] == "Name,OK?,Value"
+    assert lines[1] == "a,yes,1.5"
+    assert lines[2] == "b,no,"
+
+
+def test_json_round_trip():
+    restored = table_from_json(table_to_json(sample_table()))
+    assert restored.title == "t"
+    assert restored.rows[0]["name"] == "a"
+    assert restored.rows[0]["ok"] is True
+    assert len(restored.columns) == 3
+
+
+def test_save_table_dispatch(tmp_path):
+    table = sample_table()
+    save_table(table, str(tmp_path / "t.csv"))
+    save_table(table, str(tmp_path / "t.json"))
+    assert (tmp_path / "t.csv").read_text().startswith("Name,")
+    assert '"title": "t"' in (tmp_path / "t.json").read_text()
+    with pytest.raises(ValueError, match="unsupported"):
+        save_table(table, str(tmp_path / "t.xlsx"))

@@ -1,0 +1,40 @@
+"""Full report + Table I registry tests."""
+
+from repro.analysis import ANALYSIS_REGISTRY
+from repro.analysis.report import full_report
+
+
+def test_registry_matches_table1():
+    assert len(ANALYSIS_REGISTRY) == 15
+    ids = [a.analysis_id for a in ANALYSIS_REGISTRY]
+    assert ids == [f"A{i}" for i in range(1, 16)]
+    # XSP performs all 15; A11-A14 are exclusive to XSP.
+    assert all(a.xsp for a in ANALYSIS_REGISTRY)
+    exclusives = [
+        a.analysis_id
+        for a in ANALYSIS_REGISTRY
+        if not (a.end_to_end_benchmarking or a.framework_profilers
+                or a.nvidia_profilers)
+    ]
+    assert exclusives == ["A11", "A12", "A13", "A14"]
+
+
+def test_registry_level_requirements():
+    by_id = {a.analysis_id: a for a in ANALYSIS_REGISTRY}
+    assert by_id["A1"].levels == "M"
+    assert by_id["A11"].levels == "L/G"
+    assert by_id["A15"].levels == "M/G"
+
+
+def test_full_report_renders(cnn_profile):
+    text = full_report(cnn_profile)
+    for marker in ("A1", "A2", "A5", "A6", "A7", "A8", "A10", "A11", "A9",
+                   "A13"):
+        assert marker in text
+    assert cnn_profile.model_name in text
+
+
+def test_full_report_with_sweep(resnet50_sweep):
+    text = full_report(resnet50_sweep[256], resnet50_sweep)
+    assert "A15" in text
+    assert "Batch Size" in text

@@ -1,0 +1,37 @@
+"""Roofline math tests."""
+
+import pytest
+
+from repro.analysis.roofline import RooflinePoint, classify, roofline_curve
+from repro.sim import get_system
+
+V100 = get_system("Tesla_V100")
+
+
+def test_classification_threshold():
+    low = RooflinePoint("l", 5.0, 1.0)
+    high = RooflinePoint("h", 100.0, 10.0)
+    assert low.memory_bound(V100)
+    assert not high.memory_bound(V100)
+    assert classify(low, V100) == "memory-bound"
+    assert classify(high, V100) == "compute-bound"
+
+
+def test_attainable_ceiling():
+    # Below the ridge: bandwidth-limited ceiling; above: peak flops.
+    point = RooflinePoint("p", 10.0, 1.0)
+    assert point.attainable_tflops(V100) == pytest.approx(10 * 900e9 / 1e12)
+    ridge = RooflinePoint("r", 1000.0, 1.0)
+    assert ridge.attainable_tflops(V100) == V100.peak_tflops
+
+
+def test_efficiency_bounded():
+    point = RooflinePoint("p", 100.0, 7.0)
+    assert 0 < point.efficiency(V100) < 1
+
+
+def test_curve_monotone_then_flat():
+    curve = roofline_curve(V100, [1.0, 10.0, 17.44, 100.0, 1000.0])
+    values = [v for _, v in curve]
+    assert values == sorted(values)
+    assert values[-1] == values[-2] == V100.peak_tflops

@@ -1,0 +1,76 @@
+"""Shared fixtures.
+
+Sessions and profiled runs are expensive enough (virtual-time execution of
+hundreds of layers) that integration fixtures are module/session scoped.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AnalysisPipeline, XSPSession
+from repro.frameworks import Graph
+from repro.models import get_model
+
+
+def small_cnn() -> Graph:
+    """A tiny but structurally complete CNN (conv/bn/relu/residual/fc)."""
+    g = Graph("small_cnn")
+    g.add_op("input", "Input", shape=(3, 32, 32))
+    g.add_op("conv1", "Conv2D", ["input"], filters=16, kernel=3, strides=1,
+             padding="same")
+    g.add_op("bn1", "BatchNorm", ["conv1"])
+    g.add_op("relu1", "Relu", ["bn1"])
+    g.add_op("conv2", "Conv2D", ["relu1"], filters=16, kernel=3, strides=1,
+             padding="same")
+    g.add_op("bn2", "BatchNorm", ["conv2"])
+    g.add_op("res", "Add", ["relu1", "bn2"])
+    g.add_op("relu2", "Relu", ["res"])
+    g.add_op("pool", "MaxPool", ["relu2"], kernel=2, strides=2)
+    g.add_op("gap", "GlobalAvgPool", ["pool"])
+    g.add_op("fc", "Dense", ["gap"], units=10)
+    g.add_op("softmax", "Softmax", ["fc"])
+    g.validate()
+    return g
+
+
+@pytest.fixture(scope="session")
+def cnn_graph() -> Graph:
+    return small_cnn()
+
+
+@pytest.fixture(scope="session")
+def v100_session() -> XSPSession:
+    return XSPSession(system="Tesla_V100", framework="tensorflow_like")
+
+
+@pytest.fixture(scope="session")
+def mx_session() -> XSPSession:
+    return XSPSession(system="Tesla_V100", framework="mxnet_like")
+
+
+@pytest.fixture(scope="session")
+def cnn_profile(cnn_graph):
+    pipeline = AnalysisPipeline(
+        XSPSession(system="Tesla_V100", framework="tensorflow_like"),
+        runs_per_level=2,
+    )
+    return pipeline.profile_model(cnn_graph, batch=8)
+
+
+@pytest.fixture(scope="session")
+def resnet50_profile():
+    pipeline = AnalysisPipeline(
+        XSPSession(system="Tesla_V100", framework="tensorflow_like"),
+        runs_per_level=2,
+    )
+    return pipeline.profile_model(get_model(7).graph, batch=256)
+
+
+@pytest.fixture(scope="session")
+def resnet50_sweep():
+    pipeline = AnalysisPipeline(
+        XSPSession(system="Tesla_V100", framework="tensorflow_like"),
+        runs_per_level=1,
+    )
+    return pipeline.sweep(get_model(7).graph, [1, 4, 16, 32, 64, 256])

@@ -1,0 +1,33 @@
+"""startSpan/finishSpan API tests."""
+
+from repro.core.api import finish_span, start_span
+from repro.core.profilers import ModelTracer
+from repro.sim import VirtualClock
+from repro.tracing import Level
+
+
+def test_start_finish_measures_region():
+    clock = VirtualClock()
+    tracer = ModelTracer()
+    scope = start_span(tracer, clock.now, "predict", batch=8)
+    clock.advance_ms(5)
+    span = finish_span(scope, status="ok")
+    assert span.duration_ms == 5.0
+    assert span.tags["batch"] == 8
+    assert span.tags["status"] == "ok"
+    assert span.level == Level.MODEL
+    assert tracer.buffer == [span]
+
+
+def test_nested_spans_via_parent_id():
+    clock = VirtualClock()
+    tracer = ModelTracer()
+    outer = start_span(tracer, clock.now, "evaluate")
+    inner = start_span(tracer, clock.now, "predict",
+                       parent_id=outer.span.span_id)
+    clock.advance_ms(1)
+    finish_span(inner)
+    clock.advance_ms(1)
+    finish_span(outer)
+    assert inner.span.parent_id == outer.span.span_id
+    assert outer.span.duration_ms == 2.0

@@ -1,0 +1,61 @@
+"""Leveled experimentation tests (Fig. 2 behaviour)."""
+
+import pytest
+
+from repro.core import LeveledExperiment, XSPSession
+
+
+@pytest.fixture(scope="module")
+def leveled(cnn_graph):
+    session = XSPSession("Tesla_V100", "tensorflow_like")
+    return LeveledExperiment(session, runs_per_level=2).run(cnn_graph, 8)
+
+
+def test_all_rungs_present(leveled):
+    assert set(leveled.runs) == {"M", "M/L", "M/L/G", "M/L/G+metrics"}
+    assert all(len(runs) == 2 for runs in leveled.runs.values())
+
+
+def test_deeper_profiling_costs_more(leveled):
+    m = leveled.predict_latency_at("M")
+    ml = leveled.predict_latency_at("M/L")
+    mlg = leveled.predict_latency_at("M/L/G")
+    assert m < ml < mlg
+
+
+def test_overhead_ladder_positive(leveled):
+    ladder = leveled.overhead_ladder()
+    assert set(ladder) == {"M/L", "M/L/G"}
+    assert ladder["M/L"] > 0
+    assert ladder["M/L/G"] > 0
+
+
+def test_metrics_run_much_slower_than_unprofiled(leveled):
+    """DRAM counters force kernel replay (paper: >100x slowdowns possible);
+    the metric-collection run dwarfs the unprofiled execution."""
+    assert (
+        leveled.predict_latency_at("M/L/G+metrics")
+        > 10 * leveled.predict_latency_at("M")
+    )
+    assert (
+        leveled.predict_latency_at("M/L/G+metrics")
+        > 2 * leveled.predict_latency_at("M/L/G")
+    )
+
+
+def test_accurate_model_latency_is_from_m_runs(leveled):
+    assert leveled.model_latency_ms == leveled.predict_latency_at("M")
+    assert leveled.throughput == pytest.approx(
+        8 / (leveled.model_latency_ms / 1e3)
+    )
+
+
+def test_missing_rung_raises(leveled):
+    with pytest.raises(KeyError, match="no runs at"):
+        leveled.runs_at("M/L/G/X")
+
+
+def test_runs_per_level_validation():
+    session = XSPSession()
+    with pytest.raises(ValueError):
+        LeveledExperiment(session, runs_per_level=0)

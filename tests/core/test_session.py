@@ -1,0 +1,111 @@
+"""XSPSession integration tests."""
+
+import pytest
+
+from repro.core import M, ML, MLG, ProfilingConfig, XSPSession
+from repro.tracing import Level, SpanKind
+
+
+def _run(session, graph, batch=4, levels=MLG, **kw):
+    return session.profile(graph, batch, ProfilingConfig(levels=levels, **kw))
+
+
+def test_model_level_only(v100_session, cnn_graph):
+    run = _run(v100_session, cnn_graph, levels=M)
+    assert run.trace.at_level(Level.LAYER) == []
+    assert run.trace.at_level(Level.GPU_KERNEL) == []
+    names = {s.name for s in run.trace.at_level(Level.MODEL)}
+    assert names == {"input_preprocess", "predict", "output_postprocess"}
+
+
+def test_ml_level_has_layer_spans(v100_session, cnn_graph):
+    run = _run(v100_session, cnn_graph, levels=ML)
+    layers = run.trace.at_level(Level.LAYER)
+    assert len(layers) > 5
+    assert all(s.parent_id == run.predict_span.span_id for s in layers)
+    assert run.trace.at_level(Level.GPU_KERNEL) == []
+
+
+def test_mlg_level_full_stack(v100_session, cnn_graph):
+    run = _run(v100_session, cnn_graph)
+    kernels = run.trace.at_level(Level.GPU_KERNEL)
+    assert kernels
+    launches = [s for s in kernels if s.kind is SpanKind.LAUNCH]
+    executions = [s for s in kernels if s.kind is SpanKind.EXECUTION]
+    assert len(launches) == len(executions) == len(run.kernels)
+
+
+def test_kernels_correlated_to_layers(v100_session, cnn_graph):
+    run = _run(v100_session, cnn_graph)
+    by_layer = run.kernels_by_layer()
+    assert -1 not in by_layer  # every kernel found its layer
+    # The first Conv2D layer owns at least one scudnn/implicit kernel.
+    layer_spans = {s.tags["layer_index"]: s for s in run.layer_spans()}
+    conv_idx = next(
+        i for i, s in layer_spans.items() if s.tags["layer_type"] == "Conv2D"
+    )
+    conv_kernel_names = [k.name for k in by_layer[conv_idx]]
+    assert any("convolve" in n or "scudnn" in n for n in conv_kernel_names)
+
+
+def test_launch_spans_contained_in_their_layer(v100_session, cnn_graph):
+    run = _run(v100_session, cnn_graph)
+    by_id = run.trace.by_id()
+    for mk in run.kernels:
+        layer = by_id[mk.parent_id]
+        assert layer.contains(mk.launch)
+
+
+def test_layer_spans_nest_in_predict(v100_session, cnn_graph):
+    run = _run(v100_session, cnn_graph, levels=ML)
+    for span in run.trace.at_level(Level.LAYER):
+        assert run.predict_span.contains(span)
+
+
+def test_metrics_attached(v100_session, cnn_graph):
+    run = _run(v100_session, cnn_graph)
+    flops = [k.metrics.get("metric.flop_count_sp") for k in run.kernels]
+    assert any(f and f > 0 for f in flops)
+
+
+def test_serialized_config_sets_env(v100_session, cnn_graph):
+    run = _run(v100_session, cnn_graph, serialized=True)
+    assert run.config.serialized
+    assert not run.correlation.needs_serialized_rerun
+
+
+def test_no_ambiguity_in_sequential_execution(v100_session, cnn_graph):
+    run = _run(v100_session, cnn_graph)
+    assert not run.correlation.needs_serialized_rerun
+    assert not run.was_serialized_retry
+
+
+def test_run_summary(v100_session, cnn_graph):
+    summary = _run(v100_session, cnn_graph).summary()
+    assert summary["system"] == "Tesla_V100"
+    assert summary["levels"] == "M/L/G"
+    assert summary["n_kernels"] > 0
+
+
+def test_unknown_framework_rejected():
+    with pytest.raises(KeyError, match="unknown framework"):
+        XSPSession(framework="pytorch_like")
+
+
+def test_framework_aliases():
+    assert XSPSession(framework="tf").framework_cls.name == "tensorflow_like"
+    assert XSPSession(framework="mx").framework_cls.name == "mxnet_like"
+
+
+def test_mxnet_session_profiles(mx_session, cnn_graph):
+    run = _run(mx_session, cnn_graph)
+    types = {s.tags["layer_type"] for s in run.layer_spans()}
+    assert "Convolution" in types
+    assert "BatchNorm" in types
+
+
+def test_run_index_changes_latency_slightly(v100_session, cnn_graph):
+    a = _run(v100_session, cnn_graph, levels=M, run_index=0)
+    b = _run(v100_session, cnn_graph, levels=M, run_index=1)
+    assert a.model_latency_ms != b.model_latency_ms
+    assert abs(a.model_latency_ms - b.model_latency_ms) < 0.2 * a.model_latency_ms

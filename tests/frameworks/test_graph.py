@@ -1,0 +1,66 @@
+"""Graph IR tests."""
+
+import pytest
+
+from repro.frameworks import Graph
+from repro.frameworks.graph import GraphError, Node
+
+
+def test_unsupported_op_rejected():
+    with pytest.raises(ValueError, match="unsupported op"):
+        Node("n", "Convolution3D")
+
+
+def test_duplicate_name_rejected():
+    g = Graph("g")
+    g.add_op("a", "Input", shape=(3, 4, 4))
+    with pytest.raises(GraphError, match="duplicate"):
+        g.add_op("a", "Relu", ["a"])
+
+
+def test_forward_reference_rejected():
+    g = Graph("g")
+    with pytest.raises(GraphError, match="unknown input"):
+        g.add_op("relu", "Relu", ["missing"])
+
+
+def test_topological_order_stable(cnn_graph):
+    order = [n.name for n in cnn_graph.topological_order()]
+    assert order[0] == "input"
+    assert order.index("conv1") < order.index("bn1") < order.index("relu1")
+    assert order.index("relu1") < order.index("res")
+
+
+def test_outputs_and_roots(cnn_graph):
+    assert [n.name for n in cnn_graph.outputs()] == ["softmax"]
+    assert cnn_graph.input_node.name == "input"
+
+
+def test_consumers(cnn_graph):
+    consumers = {n.name for n in cnn_graph.consumers("relu1")}
+    assert consumers == {"conv2", "res"}
+
+
+def test_op_histogram(cnn_graph):
+    hist = cnn_graph.op_histogram()
+    assert hist["Conv2D"] == 2
+    assert hist["BatchNorm"] == 2
+
+
+def test_missing_input_node():
+    g = Graph("no_input")
+    with pytest.raises(GraphError, match="no Input"):
+        g.validate()
+
+
+def test_validate_passes(cnn_graph):
+    cnn_graph.validate()
+
+
+def test_duplicate_inputs_supported():
+    """Add(x, x) is legal; topological sort counts edges, not producers."""
+    g = Graph("dup")
+    g.add_op("input", "Input", shape=(3, 4, 4))
+    g.add_op("double", "Add", ["input", "input"])
+    order = [n.name for n in g.topological_order()]
+    assert order == ["input", "double"]

@@ -1,0 +1,56 @@
+"""Host-cost model behaviour tests."""
+
+from repro.frameworks import Graph, TFSim
+from repro.sim import CudaRuntime, VirtualClock, get_system
+
+V100 = get_system("Tesla_V100")
+
+
+def _where_chain(n):
+    g = Graph(f"where_{n}")
+    g.add_op("input", "Input", shape=(8, 32, 32))
+    last = "input"
+    for i in range(n):
+        g.add_op(f"w{i}", "Where", [last])
+        last = f"w{i}"
+    g.add_op("out", "Relu", [last])
+    g.validate()
+    return g
+
+
+def test_where_layers_cost_extra_host_time():
+    rt1 = CudaRuntime(V100, VirtualClock())
+    fw1 = TFSim(rt1)
+    few = fw1.predict(fw1.load(_where_chain(5)), 1).latency_ms
+    rt2 = CudaRuntime(V100, VirtualClock())
+    fw2 = TFSim(rt2)
+    many = fw2.predict(fw2.load(_where_chain(50)), 1).latency_ms
+    # ~45 extra Where layers at >100 us each.
+    assert many - few > 45 * 0.1
+
+
+def test_where_cost_scales_with_batch():
+    """Sec. IV-A: Where host work scales with the number of images."""
+    graph = _where_chain(20)
+    latencies = {}
+    for batch in (1, 8):
+        rt = CudaRuntime(V100, VirtualClock())
+        fw = TFSim(rt)
+        latencies[batch] = fw.predict(fw.load(graph), batch).latency_ms
+    assert latencies[8] > 2.5 * latencies[1]
+
+
+def test_per_image_feed_cost():
+    """Prediction cost includes a per-input host component."""
+    g = Graph("tiny")
+    g.add_op("input", "Input", shape=(1, 2, 2))
+    g.add_op("relu", "Relu", ["input"])
+    g.validate()
+    rt = CudaRuntime(V100, VirtualClock())
+    fw = TFSim(rt)
+    model = fw.load(g)
+    lat1 = fw.predict(model, 1).latency_ms
+    rt.reset()
+    lat512 = fw.predict(model, 512).latency_ms
+    # 511 extra images at 6 us each dominates this degenerate model.
+    assert lat512 - lat1 > 511 * 0.006 * 0.8

@@ -1,0 +1,73 @@
+"""Plan-layer -> library geometry lowering tests."""
+
+import pytest
+
+from repro.frameworks import Graph, TFSim
+from repro.frameworks.lowering import conv_geometry, depthwise_geometry, pool_window
+from repro.frameworks.shapes import infer_shapes
+from repro.sim import CudaRuntime, VirtualClock, get_system
+
+
+def _plan_and_shapes(graph, batch=2):
+    fw = TFSim(CudaRuntime(get_system("Tesla_V100"), VirtualClock()))
+    model = fw.load(graph)
+    return model.plan, infer_shapes(graph, batch)
+
+
+def test_conv_geometry_resolves_same_padding():
+    g = Graph("g")
+    g.add_op("input", "Input", shape=(16, 28, 28))
+    g.add_op("c", "Conv2D", ["input"], filters=32, kernel=3, strides=2,
+             padding="same")
+    g.validate()
+    plan, shapes = _plan_and_shapes(g)
+    layer = next(l for l in plan if l.op == "Conv2D")
+    geom = conv_geometry(layer, shapes)
+    assert (geom.in_channels, geom.out_channels) == (16, 32)
+    assert (geom.out_h, geom.out_w) == (14, 14)
+    assert geom.batch == 2
+
+
+def test_conv_geometry_valid_padding_no_pad():
+    g = Graph("g")
+    g.add_op("input", "Input", shape=(8, 10, 10))
+    g.add_op("c", "Conv2D", ["input"], filters=8, kernel=3, strides=1,
+             padding="valid")
+    g.validate()
+    plan, shapes = _plan_and_shapes(g)
+    geom = conv_geometry(next(l for l in plan if l.op == "Conv2D"), shapes)
+    assert geom.pad_h == geom.pad_w == 0
+    assert geom.out_h == 8
+
+
+def test_depthwise_geometry_groups():
+    g = Graph("g")
+    g.add_op("input", "Input", shape=(24, 16, 16))
+    g.add_op("dw", "DepthwiseConv2D", ["input"], kernel=3, strides=1,
+             padding="same", depth_multiplier=2)
+    g.validate()
+    plan, shapes = _plan_and_shapes(g)
+    layer = next(l for l in plan if l.op == "DepthwiseConv2D")
+    geom = depthwise_geometry(layer, shapes)
+    assert geom.groups == 24
+    assert geom.out_channels == 48
+    assert geom.is_depthwise
+
+
+def test_pool_window_pair():
+    g = Graph("g")
+    g.add_op("input", "Input", shape=(4, 8, 8))
+    g.add_op("p", "MaxPool", ["input"], kernel=(2, 3), strides=2)
+    g.validate()
+    plan, _ = _plan_and_shapes(g)
+    layer = next(l for l in plan if l.op == "MaxPool")
+    assert pool_window(layer) == (2, 3)
+
+
+def test_pair_helper_rejects_bad_values():
+    from repro.frameworks.lowering import _pair
+
+    assert _pair(3) == (3, 3)
+    assert _pair((1, 7)) == (1, 7)
+    with pytest.raises(ValueError):
+        _pair("3x3")

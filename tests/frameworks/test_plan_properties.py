@@ -1,0 +1,88 @@
+"""Property-based tests of graph-to-plan compilation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frameworks import Graph
+from repro.frameworks.optimizer import (
+    MX_REWRITE_RULES,
+    TF_REWRITE_RULES,
+    build_plan,
+)
+from repro.frameworks.shapes import infer_shapes
+
+
+@st.composite
+def random_chain_graph(draw):
+    """A random sequential CNN with occasional residual merges."""
+    g = Graph("random")
+    g.add_op("input", "Input", shape=(3, 32, 32))
+    last = "input"
+    channels = 3
+    merge_candidates = []
+    n_ops = draw(st.integers(1, 14))
+    for i in range(n_ops):
+        op = draw(st.sampled_from(
+            ["Conv2D", "BatchNorm", "Relu", "Add", "MaxPool"]
+        ))
+        name = f"op{i}"
+        if op == "Conv2D":
+            channels = draw(st.sampled_from([8, 16, 32]))
+            g.add_op(name, "Conv2D", [last], filters=channels, kernel=3,
+                     strides=1, padding="same")
+            merge_candidates = []  # spatial may change relative to old ones
+        elif op == "MaxPool":
+            g.add_op(name, "MaxPool", [last], kernel=2, strides=2,
+                     padding="same")
+            merge_candidates = []
+        elif op == "Add" and merge_candidates:
+            g.add_op(name, "Add", [last, merge_candidates[-1]])
+        elif op in ("BatchNorm", "Relu"):
+            g.add_op(name, op, [last])
+        else:
+            g.add_op(name, "Relu", [last])
+        last = name
+        merge_candidates.append(last)
+    g.add_op("gap", "GlobalAvgPool", [last])
+    g.add_op("fc", "Dense", ["gap"], units=10)
+    g.validate()
+    return g
+
+
+@settings(max_examples=50, deadline=None)
+@given(graph=random_chain_graph())
+def test_plan_invariants_hold_for_any_graph(graph):
+    for rules in (TF_REWRITE_RULES, MX_REWRITE_RULES):
+        plan = build_plan(graph, rules)
+        # 1. contiguous 1-based indices
+        assert [l.index for l in plan] == list(range(1, len(plan) + 1))
+        # 2. inputs always reference earlier plan layers
+        seen = set()
+        for layer in plan:
+            assert set(layer.inputs) <= seen or not layer.inputs
+            seen.add(layer.name)
+        # 3. every source node resolves in shape inference
+        shapes = infer_shapes(graph, 2)
+        for layer in plan:
+            assert layer.source in shapes
+        # 4. BN handling is rule-consistent
+        types = {l.layer_type for l in plan}
+        if any(n.op == "BatchNorm" for n in graph.nodes()):
+            if rules.decompose_batchnorm:
+                assert "BatchNorm" not in types
+            else:
+                assert "BatchNorm" in types
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph=random_chain_graph(), batch=st.sampled_from([1, 3, 8]))
+def test_any_random_graph_executes(graph, batch):
+    """Every generated graph runs end-to-end on the simulated stack."""
+    from repro.frameworks import TFSim
+    from repro.sim import CudaRuntime, VirtualClock, get_system
+
+    rt = CudaRuntime(get_system("Tesla_V100"), VirtualClock())
+    fw = TFSim(rt)
+    result = fw.predict(fw.load(graph), batch)
+    assert result.latency_ms > 0
+    assert rt.memory.live_bytes == 0

@@ -1,0 +1,21 @@
+"""Full experiment suite guard: the EXPERIMENTS.md regression test.
+
+Runs all 21 experiments (shared context makes this ~20 s) and requires
+every qualitative agreement check to pass — the same gate the generated
+EXPERIMENTS.md reports.
+"""
+
+from repro.experiments import run_all
+
+
+def test_every_experiment_check_passes():
+    results = run_all()
+    failures = [
+        f"{r.exp_id}: {c.claim} ({c.detail})"
+        for r in results.values()
+        for c in r.checks
+        if not c.passed
+    ]
+    assert not failures, "\n".join(failures)
+    total = sum(len(r.checks) for r in results.values())
+    assert total >= 85  # the suite currently carries 91 checks

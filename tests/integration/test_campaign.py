@@ -1,0 +1,49 @@
+"""Campaign orchestration tests."""
+
+import pytest
+
+from repro.campaign import Campaign, CampaignPoint
+
+
+def test_grid_expansion():
+    campaign = Campaign().add_grid(
+        [53, 54], [1, 2], systems=("Tesla_V100",),
+        frameworks=("tensorflow_like", "mxnet_like"),
+    )
+    assert len(campaign.points) == 8
+
+
+def test_empty_campaign_rejected():
+    with pytest.raises(ValueError, match="no points"):
+        Campaign().run()
+
+
+def test_point_label():
+    point = CampaignPoint(7, 4)
+    assert point.label == "MLPerf_ResNet50_v1.5|tensorflow_like|Tesla_V100|bs4"
+
+
+def test_campaign_runs_and_tables():
+    campaign = Campaign().add_grid([53], [1, 2])
+    result = campaign.run()
+    assert len(result) == 2
+    table = result.table()
+    assert len(table) == 2
+    assert not result.out_of_memory
+
+
+def test_campaign_records_oom_instead_of_failing():
+    # MLPerf SSD ResNet34 at 1200x1200 cannot fit batch 64 on an 8 GB P4.
+    campaign = Campaign()
+    campaign.add(CampaignPoint(46, 64, system="Tesla_P4"))
+    campaign.add(CampaignPoint(53, 1, system="Tesla_P4"))
+    result = campaign.run()
+    assert len(result) == 1
+    assert len(result.out_of_memory) == 1
+    assert result.out_of_memory[0].model == 46
+
+
+def test_campaign_reuses_pipelines():
+    campaign = Campaign().add_grid([53], [1])
+    campaign.run()
+    assert len(campaign._pipelines) == 1

@@ -1,0 +1,66 @@
+"""CLI smoke tests."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_models(capsys):
+    assert main(["list-models", "--task", "SR"]) == 0
+    out = capsys.readouterr().out
+    assert "SRGAN" in out
+
+
+def test_sweep(capsys):
+    assert main(["sweep", "--model", "7", "--batches", "1,8"]) == 0
+    out = capsys.readouterr().out
+    assert "optimal batch size" in out
+
+
+def test_profile_small_model(capsys):
+    assert main(["profile", "--model", "53", "--batch", "1",
+                 "--runs", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "A2" in out and "A10" in out
+
+
+def test_trace_json(tmp_path, capsys):
+    out_path = tmp_path / "trace.json"
+    assert main(["trace", "--model", "53", "--batch", "1",
+                 "--output", str(out_path)]) == 0
+    from repro.tracing.export import load_trace
+
+    trace = load_trace(str(out_path))
+    assert len(trace) > 10
+
+
+def test_trace_chrome_format(tmp_path):
+    out_path = tmp_path / "chrome.json"
+    assert main(["trace", "--model", "53", "--batch", "1", "--chrome",
+                 "--output", str(out_path)]) == 0
+    doc = json.loads(out_path.read_text())
+    assert doc["traceEvents"]
+
+
+def test_trace_library_level(tmp_path):
+    out_path = tmp_path / "lib.json"
+    assert main(["trace", "--model", "53", "--batch", "1",
+                 "--library-level", "--output", str(out_path)]) == 0
+    from repro.tracing import Level
+    from repro.tracing.export import load_trace
+
+    trace = load_trace(str(out_path))
+    assert trace.at_level(Level.LIBRARY)
+
+
+def test_experiments_single(capsys):
+    assert main(["experiments", "--only", "table07"]) == 0
+    out = capsys.readouterr().out
+    assert "0 deviations" in out
+
+
+def test_unknown_model_errors():
+    with pytest.raises(KeyError):
+        main(["sweep", "--model", "999", "--batches", "1"])

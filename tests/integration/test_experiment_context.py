@@ -1,0 +1,26 @@
+"""Experiment measurement-context tests."""
+
+from repro.experiments import context
+
+
+def test_context_caches_profiles():
+    a = context.model_profile(53, 1)
+    b = context.model_profile(53, 1)
+    assert a is b
+
+
+def test_clear_drops_caches():
+    a = context.model_profile(53, 1)
+    context.clear()
+    b = context.model_profile(53, 1)
+    assert a is not b
+    # Determinism: the recomputed profile is numerically identical.
+    assert a.model_latency_ms == b.model_latency_ms
+    assert len(a.layers) == len(b.layers)
+
+
+def test_sessions_keyed_by_system_and_framework():
+    assert context.session("Tesla_V100") is context.session("Tesla_V100")
+    assert context.session("Tesla_V100") is not context.session("Tesla_P4")
+    assert context.session("Tesla_V100", "mxnet_like") is not \
+        context.session("Tesla_V100", "tensorflow_like")

@@ -1,0 +1,68 @@
+"""Sec. IV-B framework comparison integration tests."""
+
+import pytest
+
+from repro.core import AnalysisPipeline, XSPSession
+from repro.models import get_model
+from repro.workloads import throughput_curve
+
+
+@pytest.fixture(scope="module")
+def sessions():
+    return (
+        XSPSession("Tesla_V100", "tensorflow_like"),
+        XSPSession("Tesla_V100", "mxnet_like"),
+    )
+
+
+def test_mxnet_resnets_slower_online(sessions):
+    """Table X: MXNet ResNets have higher batch-1 latency (1.3-1.8x)."""
+    tf, mx = sessions
+    graph = get_model(11).graph
+    tf_online = throughput_curve(tf, graph, [1], runs=1).online_latency_ms
+    mx_online = throughput_curve(mx, graph, [1], runs=1).online_latency_ms
+    assert 1.1 < mx_online / tf_online < 2.0
+
+
+def test_mxnet_resnets_comparable_max_throughput(sessions):
+    """Table X: at the optimal batch, MXNet ResNets match TF (0.9-1.1x)."""
+    tf, mx = sessions
+    graph = get_model(11).graph
+    tf_max = throughput_curve(tf, graph, [128, 256], runs=1).max_throughput
+    mx_max = throughput_curve(mx, graph, [128, 256], runs=1).max_throughput
+    assert 0.85 < mx_max / tf_max < 1.15
+
+
+def test_mxnet_mobilenets_higher_max_throughput(sessions):
+    """Table X: MXNet MobileNets reach 35-74% more throughput."""
+    tf, mx = sessions
+    graph = get_model(18).graph
+    tf_max = throughput_curve(tf, graph, [64, 128, 256], runs=1).max_throughput
+    mx_max = throughput_curve(mx, graph, [64, 128, 256], runs=1).max_throughput
+    assert 1.2 < mx_max / tf_max < 1.9
+
+
+def test_root_cause_depthwise_traffic(sessions):
+    """The MobileNet gap traces to depthwise kernel DRAM traffic."""
+    tf, mx = sessions
+    graph = get_model(18).graph
+    tf_profile = AnalysisPipeline(tf, runs_per_level=1).profile_model(graph, 128)
+    mx_profile = AnalysisPipeline(mx, runs_per_level=1).profile_model(graph, 128)
+    def dw_traffic(profile):
+        return sum(
+            k.dram_bytes for k in profile.kernels
+            if "Depthwise" in k.name or "depthwise" in k.name
+        )
+    assert dw_traffic(tf_profile) > 2 * dw_traffic(mx_profile)
+
+
+def test_mxnet_fewer_executed_layers(sessions):
+    tf, mx = sessions
+    graph = get_model(11).graph
+    tf_profile = AnalysisPipeline(tf, runs_per_level=1).profile_model(graph, 8)
+    mx_profile = AnalysisPipeline(mx, runs_per_level=1).profile_model(graph, 8)
+    assert len(mx_profile.layers) < len(tf_profile.layers)
+    tf_types = {l.layer_type for l in tf_profile.layers}
+    mx_types = {l.layer_type for l in mx_profile.layers}
+    assert "Mul" in tf_types and "BatchNorm" not in tf_types
+    assert "BatchNorm" in mx_types and "Mul" not in mx_types

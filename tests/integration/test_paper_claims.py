@@ -1,0 +1,135 @@
+"""Golden-shape integration tests: the paper's qualitative claims.
+
+These pin the reproduction to the evaluation section's findings — who
+wins, by roughly what factor, where crossovers fall — without requiring
+the authors' absolute numbers.
+"""
+
+import pytest
+
+from repro.analysis import (
+    convolution_latency_percentage,
+    kernel_by_name_table,
+    optimal_batch_size,
+    top_kernels,
+    top_layers,
+)
+from repro.core import AnalysisPipeline, XSPSession
+from repro.models import get_model
+from repro.workloads import throughput_curve
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return AnalysisPipeline(
+        XSPSession("Tesla_V100", "tensorflow_like"), runs_per_level=1
+    )
+
+
+@pytest.fixture(scope="module")
+def resnet_profile(pipeline):
+    return pipeline.profile_model(get_model(7).graph, 256)
+
+
+def test_fig2_leveled_overhead_shape(resnet_profile):
+    """Layer profiling adds ~150 ms at batch 256 (paper: 157 ms); GPU
+    timeline capture adds a smaller overhead on top."""
+    assert 100 < resnet_profile.overheads["M/L"] < 220
+    assert 0 < resnet_profile.overheads["M/L/G"] < 60
+
+
+def test_fig3_resnet_optimal_batch_is_256(pipeline):
+    session = pipeline.session
+    curve = throughput_curve(session, get_model(7).graph,
+                             [1, 16, 64, 128, 256, 512], runs=1)
+    # The paper reports 256; its own Table VI latencies yield 128 under
+    # the stated 5%-doubling rule. Accept either side of the knee.
+    assert curve.optimal_batch in (128, 256)
+    # Paper scale: ~930 inputs/s at the optimum, 6.2 ms online.
+    assert 700 < curve.max_throughput < 1100
+    assert 5 < curve.online_latency_ms < 11
+
+
+def test_table2_top_layers_are_late_3x3_convs(resnet_profile):
+    """Table II: the same three late-stage convs lead (48/51/45, ordering
+    within the trio differs by ~1% from the paper); Conv2D everywhere."""
+    top = top_layers(resnet_profile, 5)
+    names = [row["name"] for row in top]
+    assert {"conv2d_45/Conv2D", "conv2d_48/Conv2D",
+            "conv2d_51/Conv2D"} <= set(names[:3])
+    assert all("Conv2D" in row["layer_type"] for row in top)
+    assert top.rows[0]["alloc_mb"] == pytest.approx(25.7, rel=0.01)
+
+
+def test_table3_top_kernels_are_conv_kernels(resnet_profile):
+    """Table III: cgemm/scudnn kernels dominate."""
+    top = top_kernels(resnet_profile, 5)
+    for row in top:
+        assert ("cgemm" in row["name"]) or ("scudnn" in row["name"])
+        assert not row["memory_bound"]
+
+
+def test_table4_kernel_name_aggregation(resnet_profile):
+    """Table IV: scudnn 128x64 leads (~31% of model latency); Eigen
+    product/sum kernels are memory-bound at ~0.25 flops/byte."""
+    table = kernel_by_name_table(resnet_profile)
+    leader = table.rows[0]
+    assert "scudnn_128x64" in leader["name"]
+    assert 20 < leader["latency_pct"] < 55
+    eigen_rows = [r for r in table if "Eigen" in r["name"]]
+    assert eigen_rows
+    for row in eigen_rows:
+        if "max" in row["name"] or "sum" in row["name"] or "product" in row["name"]:
+            assert row["memory_bound"]
+    product = next(r for r in table if "scalar_product_op" in r["name"])
+    assert 0.1 < product["arithmetic_intensity"] < 0.6
+    # ~30 unique kernel names in the paper; we are in the same regime.
+    assert 10 <= len(table) <= 40
+
+
+def test_relu_kernel_zero_flops_high_occupancy(resnet_profile):
+    table = kernel_by_name_table(resnet_profile)
+    relu = next(r for r in table if "scalar_max_op" in r["name"])
+    assert relu["gflops"] == 0.0
+    assert relu["occupancy_pct"] > 90  # paper: 98.39%
+
+
+def test_table8_conv_percentage_bands(pipeline):
+    """Table VIII: IC models 36-80% conv; SSD-style OD models < 15%."""
+    resnet = pipeline.profile_model(get_model(7).graph, 32)
+    assert 35 < convolution_latency_percentage(resnet) < 85
+    ssd = pipeline.profile_model(get_model(44).graph, 4)
+    assert convolution_latency_percentage(ssd) < 15
+
+
+def test_od_models_dominated_by_where(pipeline):
+    """Sec. IV-A: for SSD models the dominating layer type is Where."""
+    from repro.analysis import latency_by_type
+
+    ssd = pipeline.profile_model(get_model(44).graph, 4)
+    table = latency_by_type(ssd)
+    assert table.rows[0]["layer_type"] == "Where"
+
+
+def test_mobilenet_memory_bound_at_optimum(pipeline):
+    """Fig. 12: MobileNets (low compute) are memory-bound at their optimal
+    batch sizes."""
+    profile = pipeline.profile_model(get_model(18).graph, 128)
+    assert profile.memory_bound
+
+
+def test_resnet_stage_trend(resnet_profile):
+    """Fig. 5: memory allocation concentrates in the early layers."""
+    from repro.analysis import memory_stage
+
+    assert memory_stage(resnet_profile) == "B"
+
+
+def test_online_latency_ordering_follows_depth(pipeline):
+    """Deeper ResNets have higher online latency (Table VIII rows 4-11)."""
+    session = pipeline.session
+    lat = {}
+    for mid in (11, 8, 6):  # ResNet v1 50 / 101 / 152
+        curve = throughput_curve(session, get_model(mid).graph, [1], runs=1)
+        lat[mid] = curve.online_latency_ms
+    assert lat[11] < lat[8] < lat[6]

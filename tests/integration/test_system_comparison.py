@@ -1,0 +1,73 @@
+"""Sec. IV-C system comparison integration tests (Fig. 11)."""
+
+import pytest
+
+from repro.core import AnalysisPipeline, XSPSession
+from repro.models import get_model
+from repro.workloads import throughput_curve
+
+SYSTEMS = ["Quadro_RTX", "Tesla_V100", "Tesla_P100", "Tesla_P4", "Tesla_M60"]
+
+
+@pytest.fixture(scope="module")
+def per_system_curves():
+    graph = get_model(7).graph
+    out = {}
+    for system in SYSTEMS:
+        session = XSPSession(system, "tensorflow_like")
+        out[system] = throughput_curve(session, graph, [1, 32, 256], runs=1)
+    return out
+
+
+def test_v100_wins_at_large_batch(per_system_curves):
+    """Fig. 11: V100 leads (RTX slightly behind on memory-bound layers)."""
+    tput = {s: c.throughputs[256] for s, c in per_system_curves.items()}
+    assert tput["Tesla_V100"] == max(tput.values())
+    assert tput["Quadro_RTX"] < tput["Tesla_V100"]
+    assert tput["Quadro_RTX"] > tput["Tesla_P100"]
+
+
+def test_slowest_systems_are_p4_m60(per_system_curves):
+    tput = {s: c.throughputs[256] for s, c in per_system_curves.items()}
+    assert tput["Tesla_M60"] == min(tput.values())
+    assert tput["Tesla_P4"] < tput["Tesla_P100"]
+
+
+def test_throughput_scales_differently_per_system(per_system_curves):
+    """Fig. 11: performance scaling with batch differs across systems."""
+    scaling = {
+        s: c.throughputs[256] / c.throughputs[1]
+        for s, c in per_system_curves.items()
+    }
+    assert scaling["Tesla_V100"] > scaling["Tesla_M60"]
+
+
+def test_kernel_names_differ_across_architectures():
+    """Sec. IV-C: Pascal/Maxwell invoke maxwell_scudnn_* kernels while
+    Volta/Turing invoke volta_scudnn_* ones, for the same model+batch."""
+    graph = get_model(7).graph
+    names = {}
+    for system in ("Tesla_V100", "Quadro_RTX", "Tesla_P100", "Tesla_M60"):
+        profile = AnalysisPipeline(
+            XSPSession(system, "tensorflow_like"), runs_per_level=1
+        ).profile_model(graph, 256)
+        names[system] = {k.name for k in profile.kernels}
+    for volta_like in ("Tesla_V100", "Quadro_RTX"):
+        assert any(n.startswith("volta_scudnn") for n in names[volta_like])
+        assert not any(n.startswith("maxwell_scudnn") for n in names[volta_like])
+    for pascal_like in ("Tesla_P100", "Tesla_M60"):
+        assert any(n.startswith("maxwell_scudnn") for n in names[pascal_like])
+        assert not any(n.startswith("volta_scudnn") for n in names[pascal_like])
+
+
+def test_cgemm_dispatch_differs_by_architecture():
+    """The cuDNN heuristics choose cgemm only on Volta/Turing."""
+    graph = get_model(7).graph
+    v100 = AnalysisPipeline(
+        XSPSession("Tesla_V100", "tensorflow_like"), runs_per_level=1
+    ).profile_model(graph, 256)
+    p100 = AnalysisPipeline(
+        XSPSession("Tesla_P100", "tensorflow_like"), runs_per_level=1
+    ).profile_model(graph, 256)
+    assert any("cgemm" in k.name for k in v100.kernels)
+    assert not any("cgemm" in k.name for k in p100.kernels)

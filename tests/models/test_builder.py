@@ -1,0 +1,54 @@
+"""ModelBuilder tests."""
+
+from repro.frameworks.shapes import infer_shapes
+from repro.models import ModelBuilder
+
+
+def test_tf_style_unique_names():
+    b = ModelBuilder("m")
+    assert b.unique("conv2d") == "conv2d"
+    assert b.unique("conv2d") == "conv2d_1"
+    assert b.unique("conv2d") == "conv2d_2"
+    assert b.unique("relu") == "relu"
+
+
+def test_conv_bn_relu_block():
+    b = ModelBuilder("m")
+    x = b.input(3, 8, 8)
+    out = b.conv_bn_relu(x, 16, 3)
+    g = b.build()
+    assert g.op_histogram() == {"Input": 1, "Conv2D": 1, "BatchNorm": 1,
+                                "Relu": 1}
+    assert infer_shapes(g, 2)[out].dims == (2, 16, 8, 8)
+
+
+def test_separable_block():
+    b = ModelBuilder("m")
+    x = b.input(32, 16, 16)
+    out = b.separable_block(x, 64, strides=2)
+    g = b.build()
+    hist = g.op_histogram()
+    assert hist["DepthwiseConv2D"] == 1 and hist["Conv2D"] == 1
+    assert hist["Relu6"] == 2
+    assert infer_shapes(g, 1)[out].dims == (1, 64, 8, 8)
+
+
+def test_classifier_head():
+    b = ModelBuilder("m")
+    x = b.input(3, 8, 8)
+    x = b.conv(x, 8, 3)
+    out = b.classifier(x, classes=100)
+    g = b.build()
+    assert infer_shapes(g, 4)[out].dims == (4, 100)
+
+
+def test_residual_and_concat():
+    b = ModelBuilder("m")
+    x = b.input(4, 8, 8)
+    a = b.conv(x, 4, 3)
+    summed = b.add([x, a])
+    cat = b.concat([summed, a])
+    g = b.build()
+    shapes = infer_shapes(g, 1)
+    assert shapes[summed].channels == 4
+    assert shapes[cat].channels == 8

@@ -1,0 +1,48 @@
+"""Inception family structural tests."""
+
+from repro.frameworks.shapes import infer_shapes, model_weight_bytes
+from repro.models import get_model
+
+
+def test_v3_stem_reaches_35x35():
+    g = get_model(3).graph  # Inception v3 at 299x299
+    shapes = infer_shapes(g, 1)
+    # After the stem the grid is 35x35 (paper architecture).
+    stem_out = [s for s in shapes.values()
+                if len(s.dims) == 4 and s.height == 35]
+    assert stem_out
+
+
+def test_v3_output_is_mixed_channel_concat():
+    g = get_model(3).graph
+    shapes = infer_shapes(g, 1)
+    final_concats = [n for n in g.nodes() if n.op == "Concat"]
+    assert shapes[final_concats[-1].name].channels == 2048
+
+
+def test_v4_deeper_than_v3():
+    v3, v4 = get_model(3).graph, get_model(2).graph
+    assert v4.op_histogram()["Conv2D"] > v3.op_histogram()["Conv2D"]
+    assert model_weight_bytes(v4) > model_weight_bytes(v3)
+
+
+def test_inception_resnet_has_residual_adds():
+    g = get_model(1).graph
+    assert g.op_histogram()["Add"] >= 20
+
+
+def test_asymmetric_convs_present_in_v3():
+    g = get_model(3).graph
+    kernels = {tuple(n.attrs["kernel"]) if isinstance(n.attrs["kernel"], tuple)
+               else (n.attrs["kernel"], n.attrs["kernel"])
+               for n in g.nodes() if n.op == "Conv2D"}
+    assert (1, 7) in kernels and (7, 1) in kernels
+
+
+def test_googlenet_flavours_share_structure():
+    plain = get_model(21).graph  # Inception v1
+    caffe = get_model(22).graph  # BVLC GoogLeNet (LRN, no BN)
+    assert plain.op_histogram()["Conv2D"] == caffe.op_histogram()["Conv2D"]
+    assert "LRN" in caffe.op_histogram()
+    assert "LRN" not in plain.op_histogram()
+    assert "BatchNorm" not in caffe.op_histogram()

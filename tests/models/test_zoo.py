@@ -1,0 +1,82 @@
+"""Zoo registry tests: all 65 models build and validate."""
+
+import pytest
+
+from repro.frameworks import MXSim, TFSim
+from repro.frameworks.shapes import infer_shapes, model_weight_bytes
+from repro.models import MODEL_ZOO, MXNET_ZOO, get_model, list_models
+from repro.models.zoo import image_classification_ids
+from repro.sim import CudaRuntime, VirtualClock, get_system
+
+
+def test_55_models_registered():
+    assert sorted(MODEL_ZOO) == list(range(1, 56))
+
+
+def test_10_mxnet_models_registered():
+    assert sorted(MXNET_ZOO) == [4, 5, 6, 8, 10, 11, 18, 23, 28, 34]
+
+
+def test_task_breakdown_matches_table8():
+    by_task = {}
+    for entry in MODEL_ZOO.values():
+        by_task.setdefault(entry.task, []).append(entry.model_id)
+    assert len(by_task["IC"]) == 37
+    assert len(by_task["OD"]) == 10
+    assert len(by_task["IS"]) == 4
+    assert len(by_task["SS"]) == 3
+    assert len(by_task["SR"]) == 1
+
+
+def test_image_classification_ids():
+    ids = image_classification_ids()
+    assert len(ids) == 37
+    assert ids[0] == 1 and ids[-1] == 37
+
+
+@pytest.mark.parametrize("model_id", sorted(MODEL_ZOO))
+def test_every_model_builds_and_infers_shapes(model_id):
+    entry = get_model(model_id)
+    graph = entry.graph
+    graph.validate()
+    shapes = infer_shapes(graph, 2)
+    assert all(shape.batch == 2 for shape in shapes.values())
+    assert model_weight_bytes(graph) > 0
+
+
+@pytest.mark.parametrize("model_id", [7, 18, 44, 52, 55])
+def test_representative_models_execute_on_both_frameworks(model_id):
+    graph = get_model(model_id).graph
+    for cls in (TFSim, MXSim):
+        rt = CudaRuntime(get_system("Tesla_V100"), VirtualClock())
+        fw = cls(rt)
+        result = fw.predict(fw.load(graph), 1)
+        assert result.latency_ms > 0
+        assert rt.memory.live_bytes == 0
+
+
+def test_lookup_by_name_and_id():
+    assert get_model("MLPerf_ResNet50_v1.5").model_id == 7
+    assert get_model(7).name == "MLPerf_ResNet50_v1.5"
+    with pytest.raises(KeyError):
+        get_model(99)
+    with pytest.raises(KeyError):
+        get_model("NoSuchNet")
+
+
+def test_list_models_filter():
+    assert len(list_models()) == 55
+    assert all(e.task == "OD" for e in list_models("OD"))
+
+
+def test_paper_reference_data_carried():
+    entry = get_model(7)
+    assert entry.paper.optimal_batch == 256
+    assert entry.paper.online_latency_ms == 6.22
+    assert entry.paper.max_throughput == 930.7
+    assert entry.paper.conv_pct == 58.7
+
+
+def test_graph_cached_per_entry():
+    entry = get_model(7)
+    assert entry.graph is entry.graph

@@ -1,0 +1,86 @@
+"""Calibration-table invariants."""
+
+import math
+
+import pytest
+
+from repro.sim.calibration import (
+    CLASS_CALIBRATION,
+    DEFAULT_METRIC_PASSES,
+    HOST_CALIBRATION,
+    MAX_COMPUTE_EFFICIENCY,
+    PROFILING_CALIBRATION,
+)
+from repro.sim.cudnn import _cache_curve
+from repro.sim.kernels import KernelClass
+
+
+def test_every_kernel_class_is_calibrated():
+    assert {k.value for k in KernelClass} == set(CLASS_CALIBRATION)
+
+
+def test_calibration_values_physical():
+    for name, cal in CLASS_CALIBRATION.items():
+        assert 0 < cal.eff_compute <= 1.0, name
+        assert 0 < cal.eff_memory <= 1.0, name
+        assert 0 < cal.occ_cap <= 1.0, name
+        assert cal.waves_half > 0, name
+        assert 0 < cal.util_floor < 1, name
+        assert cal.fixed_ns > 0, name
+        assert 0 <= cal.memory_overlap <= 1.0, name
+
+
+def test_gemm_style_classes_overlap_memory():
+    for klass in ("conv_implicit_gemm", "conv_precomp_gemm", "conv_cgemm",
+                  "gemm"):
+        assert CLASS_CALIBRATION[klass].memory_overlap == 1.0
+    assert CLASS_CALIBRATION["elementwise_eigen"].memory_overlap == 0.0
+
+
+def test_relu_class_has_near_full_occupancy():
+    """Table IV: scalar_max_op at 98.4% occupancy."""
+    assert CLASS_CALIBRATION["elementwise_max"].occ_cap > 0.95
+
+
+def test_mshadow_faster_effective_bandwidth_than_eigen():
+    """Sec. IV-B: mshadow element-wise kernels beat Eigen's bandwidth."""
+    assert CLASS_CALIBRATION["elementwise_mshadow"].eff_memory > \
+        CLASS_CALIBRATION["elementwise_eigen"].eff_memory
+
+
+def test_max_compute_efficiency_matches_paper_best():
+    """No kernel sustains more than ~12.8/15.7 of peak (Table III)."""
+    assert MAX_COMPUTE_EFFICIENCY == pytest.approx(0.88, abs=0.05)
+
+
+def test_host_calibration_framework_contrast():
+    tf = HOST_CALIBRATION["tensorflow_like"]
+    mx = HOST_CALIBRATION["mxnet_like"]
+    assert mx.layer_fixed_us > tf.layer_fixed_us  # dependency engine cost
+
+
+def test_metric_passes_make_dram_expensive():
+    assert DEFAULT_METRIC_PASSES["dram_read_bytes"] >= 20
+    assert DEFAULT_METRIC_PASSES["flop_count_sp"] == 1
+    assert PROFILING_CALIBRATION.passes_for("dram_read_bytes") >= 20
+    assert PROFILING_CALIBRATION.passes_for("unknown_metric") == 1
+
+
+def test_cache_curve_shape():
+    """Per-image precomp traffic peaks at the batch-16/32 switch region
+    and decays toward large batches (Table VI)."""
+    peak = max(_cache_curve(b) for b in (16, 24, 32))
+    assert peak > _cache_curve(4)
+    assert peak > 3 * _cache_curve(256)
+    for batch in (1, 2, 4, 8, 16, 32, 64, 128, 256, 512):
+        assert _cache_curve(batch) > 0
+    # monotone decay beyond the peak
+    assert _cache_curve(64) > _cache_curve(128) > _cache_curve(256)
+
+
+def test_profiling_calibration_matches_fig2_scale():
+    """157 ms over 234 layers -> ~670 us/layer; 0.24 ms / 3 kernels."""
+    assert 157e3 / 234 == pytest.approx(
+        PROFILING_CALIBRATION.framework_layer_us, rel=0.05
+    )
+    assert PROFILING_CALIBRATION.cupti_kernel_us == pytest.approx(80, rel=0.1)

@@ -1,0 +1,149 @@
+"""cuDNN-like library tests: heuristics, naming, geometry, traffic."""
+
+import pytest
+
+from repro.sim import get_system
+from repro.sim.cudnn import (
+    ConvAlgorithm,
+    ConvGeometry,
+    convolution_forward_kernels,
+    depthwise_forward_kernel,
+    pooling_forward_kernel,
+    select_convolution_algorithm,
+    softmax_forward_kernel,
+)
+
+V100 = get_system("Tesla_V100")
+P4 = get_system("Tesla_P4")
+
+
+def geom(batch=256, cin=256, hw=14, cout=256, k=3, stride=1, groups=1):
+    return ConvGeometry(
+        batch=batch, in_channels=cin, in_h=hw, in_w=hw, out_channels=cout,
+        kernel_h=k, kernel_w=k, stride_h=stride, stride_w=stride,
+        pad_h=k // 2, pad_w=k // 2, groups=groups,
+    )
+
+
+def test_geometry_output_dims():
+    g = geom(hw=14, k=3, stride=1)
+    assert (g.out_h, g.out_w) == (14, 14)
+    g2 = geom(hw=14, k=3, stride=2)
+    assert (g2.out_h, g2.out_w) == (7, 7)
+
+
+def test_geometry_validation():
+    with pytest.raises(ValueError):
+        ConvGeometry(batch=0, in_channels=3, in_h=8, in_w=8, out_channels=8,
+                     kernel_h=3, kernel_w=3)
+    with pytest.raises(ValueError, match="groups"):
+        ConvGeometry(batch=1, in_channels=6, in_h=8, in_w=8, out_channels=8,
+                     kernel_h=3, kernel_w=3, groups=4)
+
+
+def test_direct_flops_formula():
+    g = geom(batch=2, cin=16, hw=8, cout=32, k=3)
+    expected = 2.0 * 2 * 32 * 8 * 8 * 16 * 9
+    assert g.direct_flops == expected
+
+
+def test_heuristic_small_batch_implicit_gemm():
+    """Sec. III-D3: batch < 16 -> IMPLICIT_GEMM."""
+    for batch in (1, 2, 4, 8, 15):
+        assert (
+            select_convolution_algorithm(geom(batch=batch), V100)
+            is ConvAlgorithm.IMPLICIT_GEMM
+        )
+
+
+def test_heuristic_large_batch_precomp():
+    for batch in (16, 32, 64):
+        assert (
+            select_convolution_algorithm(geom(batch=batch), V100)
+            is ConvAlgorithm.IMPLICIT_PRECOMP_GEMM
+        )
+
+
+def test_heuristic_cgemm_for_late_3x3_on_volta():
+    """conv2d_48-style layers (3x3, 512ch, 7x7 out, bs>=128) -> cgemm."""
+    g = geom(batch=256, cin=512, hw=7, cout=512, k=3)
+    assert select_convolution_algorithm(g, V100) is ConvAlgorithm.CGEMM
+    # ... but not on Pascal (Sec. IV-C: optimized kernels are Volta+).
+    assert select_convolution_algorithm(g, P4) is ConvAlgorithm.IMPLICIT_PRECOMP_GEMM
+
+
+def test_heuristic_depthwise():
+    g = geom(cin=64, cout=64, groups=64)
+    assert select_convolution_algorithm(g, V100) is ConvAlgorithm.DEPTHWISE
+
+
+def test_kernel_names_follow_architecture():
+    """Sec. IV-C: volta_scudnn_* on Volta/Turing, maxwell_scudnn_* elsewhere."""
+    kernels_v = convolution_forward_kernels(geom(), V100, fused_relu=True)
+    kernels_p = convolution_forward_kernels(geom(), P4, fused_relu=True)
+    assert any(k.name.startswith("volta_scudnn_128x") for k in kernels_v)
+    assert any(k.name.startswith("maxwell_scudnn_128x") for k in kernels_p)
+
+
+def test_tile_selection():
+    # Very channel-heavy 1x1 reduce conv (2048 -> 512 at 7x7) -> 128x128;
+    # wide shallow conv -> 128x64 (Table IV: 4 vs 34 calls in ResNet50).
+    deep_small = convolution_forward_kernels(
+        geom(cin=2048, cout=512, hw=7, k=1), V100)
+    wide_large = convolution_forward_kernels(
+        geom(cin=64, cout=64, hw=56), V100)
+    assert any("128x128" in k.name for k in deep_small)
+    assert any("128x64" in k.name for k in wide_large)
+
+
+def test_first_conv_emits_three_kernels():
+    """Fig. 1: ShuffleTensor + OffsetComp + the scudnn kernel."""
+    g = ConvGeometry(batch=256, in_channels=3, in_h=224, in_w=224,
+                     out_channels=64, kernel_h=7, kernel_w=7,
+                     stride_h=2, stride_w=2, pad_h=3, pad_w=3)
+    kernels = convolution_forward_kernels(g, V100, fused_relu=True)
+    assert [k.name for k in kernels[:2]] == ["ShuffleTensor", "OffsetComp"]
+    assert len(kernels) == 3
+
+
+def test_cgemm_emits_transform_plus_main():
+    g = geom(batch=256, cin=512, hw=7, cout=512, k=3)
+    kernels = convolution_forward_kernels(g, V100)
+    names = [k.name for k in kernels]
+    assert "flip_filter" in names
+    assert "volta_cgemm_32x32_tn" in names
+    main = next(k for k in kernels if "cgemm" in k.name)
+    # Table III: cgemm inflates flops ~1.31x and has very high AI.
+    assert main.flops == pytest.approx(1.31 * g.direct_flops)
+    assert main.arithmetic_intensity > 100
+
+
+def test_algorithm_tag_attached():
+    kernels = convolution_forward_kernels(geom(), V100)
+    assert all("conv_algorithm" in k.tags for k in kernels)
+
+
+def test_cache_curve_peaks_at_algorithm_switch():
+    """Read traffic per image peaks at batch 16-32 (Table VI)."""
+    from repro.sim.cudnn import _cache_curve
+
+    assert _cache_curve(16) > _cache_curve(4)
+    assert _cache_curve(32) > _cache_curve(256)
+    assert _cache_curve(16) / _cache_curve(256) > 3.0
+
+
+def test_depthwise_traffic_scale():
+    g = geom(cin=64, cout=64, groups=64)
+    lean = depthwise_forward_kernel(g)
+    heavy = depthwise_forward_kernel(g, traffic_scale=3.2,
+                                     name="tensorflow::DW", library="tf")
+    assert heavy.dram_read_bytes > 2.5 * lean.dram_read_bytes - g.weight_bytes
+    assert heavy.flops == lean.flops  # same math, different traffic
+
+
+def test_pooling_and_softmax_kernels():
+    pool = pooling_forward_kernel(8, 64, 16, 16, 2, in_h=32, in_w=32)
+    assert pool.flops == 8 * 64 * 16 * 16 * 4
+    soft = softmax_forward_kernel(8, 1001)
+    assert soft.name == "cudnn::detail::softmax_fw_kernel"
+    assert soft.flops == 6 * 8 * 1001

@@ -1,0 +1,89 @@
+"""Eigen/mshadow/cublas/tensorops kernel builder tests."""
+
+import pytest
+
+from repro.sim import cublas, eigen, get_system, mshadow, tensorops
+from repro.sim.kernels import KernelClass
+
+V100 = get_system("Tesla_V100")
+
+
+def test_eigen_kernel_names_match_paper():
+    """Table IV: Eigen::TensorCwiseBinaryOp<scalar_*_op> names."""
+    assert "scalar_product_op" in eigen.multiply_kernel(100).name
+    assert "scalar_sum_op" in eigen.add_kernel(100).name
+    assert "scalar_max_op" in eigen.max_kernel(100).name
+
+
+def test_relu_counts_zero_flops():
+    """Table IV reports 0 flops for the ReLU max kernel."""
+    assert eigen.max_kernel(10_000).flops == 0.0
+    assert eigen.relu6_kernel(10_000).flops == 0.0
+    assert mshadow.relu_kernel(10_000).flops == 0.0
+
+
+def test_relu_uses_high_occupancy_class():
+    assert eigen.max_kernel(100).klass is KernelClass.ELEMENTWISE_MAX
+
+
+def test_eigen_memory_bound():
+    k = eigen.multiply_kernel(1_000_000)
+    assert k.arithmetic_intensity < V100.ideal_arithmetic_intensity
+
+
+def test_addn_scales_with_inputs():
+    two = eigen.addn_kernel(1000, n_inputs=2)
+    four = eigen.addn_kernel(1000, n_inputs=4)
+    assert four.dram_read_bytes == 2 * two.dram_read_bytes
+    assert four.flops == 3 * two.flops / 1  # n-1 adds per element
+    with pytest.raises(ValueError):
+        eigen.addn_kernel(1000, n_inputs=1)
+
+
+def test_elementwise_rejects_empty():
+    with pytest.raises(ValueError):
+        eigen.multiply_kernel(0)
+    with pytest.raises(ValueError):
+        mshadow.relu_kernel(0)
+
+
+def test_mshadow_bn_fused_traffic_close_to_eigen_pair():
+    """Sec. IV-B: TF and MXNet ResNet GPU latencies are about the same,
+    so fused BN must move close to what TF's Mul+Add pair moves."""
+    elems = 1_000_000
+    bn = mshadow.batchnorm_inference_kernel(elems)
+    pair = eigen.multiply_kernel(elems).dram_bytes + eigen.add_kernel(elems).dram_bytes
+    assert 0.8 * pair <= bn.dram_bytes <= 1.1 * pair
+
+
+def test_cublas_gemm_flops_and_name():
+    k = cublas.sgemm_kernel(256, 1001, 2048, V100)
+    assert k.flops == 2.0 * 256 * 1001 * 2048
+    assert k.name.startswith("volta_sgemm_")
+    p4 = cublas.sgemm_kernel(256, 1001, 2048, get_system("Tesla_P4"))
+    assert p4.name.startswith("maxwell_sgemm_")
+    with pytest.raises(ValueError):
+        cublas.sgemm_kernel(0, 1, 1, V100)
+
+
+def test_dense_layer_single_gemm():
+    kernels = cublas.dense_layer_kernels(8, 2048, 1001, V100)
+    assert len(kernels) == 1
+
+
+def test_where_kernels_pair_and_class():
+    kernels = tensorops.where_kernels(10_000)
+    assert len(kernels) == 2
+    assert all(k.klass is KernelClass.WHERE_OP for k in kernels)
+
+
+def test_tensorops_builders():
+    assert tensorops.concat_kernel(1000, 3).flops == 0
+    assert tensorops.transpose_kernel(1000).dram_read_bytes == 4000
+    assert tensorops.pad_kernel(1000).klass is KernelClass.MEMORY_MOVEMENT
+    resize = tensorops.resize_bilinear_kernel(4000, 1000)
+    assert resize.flops == 6.0 * 4000
+    lrn = tensorops.lrn_kernel(1000)
+    assert lrn.klass is KernelClass.REDUCTION
+    mean = tensorops.mean_reduce_kernel(100_000, 100)
+    assert mean.flops == 100_000

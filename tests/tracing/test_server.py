@@ -1,0 +1,73 @@
+"""Unit tests for the tracing server."""
+
+from repro.tracing import Level, Span, TracingServer
+
+
+def _span(name, start=0, end=10, level=Level.MODEL):
+    return Span(name, start, end, level)
+
+
+def test_begin_trace_routes_spans():
+    server = TracingServer()
+    tid = server.begin_trace(model="m")
+    server.publish(_span("a"))
+    trace = server.end_trace(tid)
+    assert [s.name for s in trace.spans] == ["a"]
+    assert trace.metadata["model"] == "m"
+
+
+def test_publish_to_explicit_trace_id():
+    server = TracingServer()
+    t1 = server.begin_trace()
+    t2 = server.begin_trace()
+    span = _span("explicit")
+    span.trace_id = t1
+    server.publish(span)
+    assert len(server.get_trace(t1)) == 1
+    assert len(server.get_trace(t2)) == 0
+
+
+def test_publish_without_trace_creates_one():
+    server = TracingServer()
+    server.publish(_span("orphan"))
+    assert len(server.traces()) == 1
+
+
+def test_end_trace_deactivates():
+    server = TracingServer()
+    tid = server.begin_trace()
+    server.end_trace(tid)
+    assert server.active_trace_id is None
+
+
+def test_subscribers_see_spans():
+    server = TracingServer()
+    seen = []
+    server.subscribe(seen.append)
+    server.begin_trace()
+    server.publish(_span("x"))
+    assert [s.name for s in seen] == ["x"]
+
+
+def test_multiple_tracers_aggregate_into_one_timeline():
+    """The core idea: spans from different tracers merge into one trace."""
+    from repro.tracing import BufferingTracer
+
+    server = TracingServer()
+    tid = server.begin_trace()
+    model_tracer = BufferingTracer("model", Level.MODEL, server.publish)
+    layer_tracer = BufferingTracer("layer", Level.LAYER, server.publish)
+    model_tracer.span("predict", 0, 100)
+    layer_tracer.span("conv", 10, 60)
+    layer_tracer.span("relu", 60, 90)
+    trace = server.end_trace(tid)
+    assert len(trace) == 3
+    assert {s.tags["tracer"] for s in trace} == {"model", "layer"}
+
+
+def test_clear():
+    server = TracingServer()
+    server.begin_trace()
+    server.publish(_span("a"))
+    server.clear()
+    assert server.traces() == []

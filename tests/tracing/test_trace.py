@@ -1,0 +1,71 @@
+"""Unit tests for Trace queries and export."""
+
+import json
+
+from repro.tracing import Level, Span, Trace
+
+
+def _trace():
+    t = Trace(trace_id=1)
+    t.add(Span("predict", 0, 1000, Level.MODEL, span_id=1))
+    t.add(Span("conv", 100, 600, Level.LAYER, span_id=2, parent_id=1))
+    t.add(Span("relu", 600, 900, Level.LAYER, span_id=3, parent_id=1))
+    t.add(Span("kernel", 150, 500, Level.GPU_KERNEL, span_id=4, parent_id=2))
+    return t
+
+
+def test_at_level():
+    t = _trace()
+    assert len(t.at_level(Level.LAYER)) == 2
+    assert len(t.at_level(Level.GPU_KERNEL)) == 1
+
+
+def test_sorted_spans_parents_first():
+    t = _trace()
+    ordered = t.sorted_spans()
+    assert ordered[0].name == "predict"
+
+
+def test_children_index():
+    t = _trace()
+    index = t.children_index()
+    assert [s.name for s in index[1]] == ["conv", "relu"]
+    assert [s.name for s in index[2]] == ["kernel"]
+
+
+def test_roots():
+    t = _trace()
+    assert [s.name for s in t.roots()] == ["predict"]
+
+
+def test_levels_present_sorted():
+    t = _trace()
+    assert t.levels_present() == [Level.MODEL, Level.LAYER, Level.GPU_KERNEL]
+
+
+def test_span_extent():
+    t = _trace()
+    assert t.span_extent_ns() == (0, 1000)
+    assert Trace(trace_id=9).span_extent_ns() == (0, 0)
+
+
+def test_first_named_and_find():
+    t = _trace()
+    assert t.first_named("conv").span_id == 2
+    assert t.first_named("nope") is None
+    assert len(t.find(lambda s: s.duration_ns > 400)) == 2
+
+
+def test_chrome_trace_export_is_valid_json():
+    t = _trace()
+    doc = json.loads(t.to_chrome_trace())
+    assert len(doc["traceEvents"]) == 4
+    event = doc["traceEvents"][0]
+    assert event["ph"] == "X"
+    assert {"name", "ts", "dur", "args"} <= set(event)
+
+
+def test_summary():
+    s = _trace().summary()
+    assert s["n_spans"] == 4
+    assert s["per_level"]["LAYER"] == 2
