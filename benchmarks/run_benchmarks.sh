@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Run the full benchmark suite and record the results as pytest-benchmark
+# JSON, so the repo's perf trajectory is tracked PR over PR:
+#
+#     benchmarks/run_benchmarks.sh                # writes BENCH_pr1.json
+#     benchmarks/run_benchmarks.sh BENCH_pr2.json # next PR's snapshot
+#
+# Extra arguments after the output name are passed through to pytest, e.g.
+#
+#     benchmarks/run_benchmarks.sh BENCH_quick.json -k ablation
+#
+# Compare two snapshots with: pytest-benchmark compare BENCH_pr1.json ...
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_pr1.json}"
+shift || true
+
+# Benchmark modules are named bench_*.py so the tier-1 test run
+# (`pytest -x -q`) never collects them; widen the pattern here only.
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest benchmarks/ \
+    -o python_files="test_*.py bench_*.py" \
+    --benchmark-json="$OUT" "$@"
+
+echo "wrote benchmark results to $OUT"

@@ -7,12 +7,19 @@ leveled experimentation, trimmed-mean merging — and prints the complete
 Sec. III-D of the paper.
 
     python examples/quickstart.py [batch_size]
+
+Set ``XSP_PROFILE_CACHE=/some/dir`` to persist merged profiles on disk:
+a repeat invocation is then served entirely from the warm cache and skips
+the leveled-experiment ladder.  Set ``XSP_PARALLEL_SWEEP=1`` to fan the
+batch sweep out over worker processes.
 """
 
+import os
 import sys
 
 from repro import AnalysisPipeline, XSPSession
 from repro.analysis.report import full_report
+from repro.core import ProfileStore
 from repro.models import get_model
 
 
@@ -20,12 +27,16 @@ def main() -> None:
     batch = int(sys.argv[1]) if len(sys.argv) > 1 else 256
     entry = get_model("MLPerf_ResNet50_v1.5")
 
+    cache_dir = os.environ.get("XSP_PROFILE_CACHE")
+    store = ProfileStore(cache_dir) if cache_dir else None
+    parallel = bool(os.environ.get("XSP_PARALLEL_SWEEP"))
+
     session = XSPSession(system="Tesla_V100", framework="tensorflow_like")
-    pipeline = AnalysisPipeline(session, runs_per_level=3)
+    pipeline = AnalysisPipeline(session, runs_per_level=3, store=store)
 
     print(f"profiling {entry.name} at batch {batch} on Tesla_V100 ...")
     profile = pipeline.profile_model(entry.graph, batch)
-    sweep = pipeline.sweep(entry.graph, [1, 8, 32, batch])
+    sweep = pipeline.sweep(entry.graph, [1, 8, 32, batch], parallel=parallel)
 
     print()
     print(full_report(profile, sweep))

@@ -16,7 +16,13 @@ import sys
 from typing import Sequence
 
 from repro.analysis.report import full_report
-from repro.core import AnalysisPipeline, MLLibG, ProfilingConfig, XSPSession
+from repro.core import (
+    AnalysisPipeline,
+    MLLibG,
+    ProfileStore,
+    ProfilingConfig,
+    XSPSession,
+)
 from repro.models import get_model, list_models
 from repro.sim.hardware import SYSTEMS
 from repro.tracing.export import save_trace
@@ -52,6 +58,9 @@ def build_parser() -> argparse.ArgumentParser:
     prof_p.add_argument("--batch", type=int, default=1)
     prof_p.add_argument("--runs", type=int, default=3,
                         help="repetitions per profiling level")
+    prof_p.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persist merged profiles here and serve repeat "
+                        "invocations from disk instead of re-profiling")
 
     sweep_p = sub.add_parser("sweep", help="A1 throughput curve")
     _add_target_args(sweep_p)
@@ -92,7 +101,15 @@ def cmd_list_models(args: argparse.Namespace) -> int:
 def cmd_profile(args: argparse.Namespace) -> int:
     entry = get_model(args.model)
     session = XSPSession(args.system, args.framework)
-    pipeline = AnalysisPipeline(session, runs_per_level=args.runs)
+    store = None
+    if args.cache_dir:
+        try:
+            store = ProfileStore(args.cache_dir)
+        except OSError as err:
+            print(f"error: --cache-dir {args.cache_dir!r} unusable: {err}",
+                  file=sys.stderr)
+            return 2
+    pipeline = AnalysisPipeline(session, runs_per_level=args.runs, store=store)
     profile = pipeline.profile_model(entry.graph, args.batch)
     print(full_report(profile))
     return 0

@@ -9,6 +9,7 @@ This package is the paper's primary contribution:
                                 aggregates spans into a timeline trace
 * :mod:`repro.core.leveled`   — leveled experimentation (Sec. III-C)
 * :mod:`repro.core.pipeline`  — multi-run pipeline + trimmed-mean profiles
+* :mod:`repro.core.cache`     — persistent on-disk profile store
 * :mod:`repro.core.stats`     — statistical summaries
 """
 
@@ -23,6 +24,7 @@ from repro.core.pipeline import (
     LayerProfile,
     ModelProfile,
 )
+from repro.core.cache import ProfileStore
 from repro.core.stats import trimmed_mean
 
 __all__ = [
@@ -37,6 +39,7 @@ __all__ = [
     "MLG",
     "MLLibG",
     "ModelProfile",
+    "ProfileStore",
     "ProfiledRun",
     "ProfilingConfig",
     "ProfilingLevelSet",

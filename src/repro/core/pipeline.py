@@ -10,14 +10,19 @@ measurements with a trimmed mean (paper Sec. III-D).  Its output is a
 
 from __future__ import annotations
 
+import pickle
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.leveled import LeveledExperiment, LeveledResult
 from repro.core.session import ProfiledRun, XSPSession
 from repro.core.stats import Statistic, trimmed_mean
 from repro.frameworks.graph import Graph
 from repro.sim.hardware import GPUSpec, get_system
+
+if TYPE_CHECKING:  # pragma: no cover - cache imports pipeline, not vice versa
+    from repro.core.cache import ProfileStore
 
 
 @dataclass(frozen=True)
@@ -203,8 +208,37 @@ class ModelProfile:
         return self.arithmetic_intensity < self.gpu.ideal_arithmetic_intensity
 
 
+def _statistic_name(statistic: Statistic) -> str:
+    """Identity of the merge statistic for cache keying."""
+    return getattr(statistic, "__qualname__", None) or repr(statistic)
+
+
+def _sweep_worker(
+    args: tuple[GPUSpec, str, int, Statistic, Graph, int],
+) -> tuple[int, ModelProfile]:
+    """Profile one batch size in a worker process (module-level: picklable).
+
+    The session is rebuilt from the full :class:`GPUSpec` (not its name)
+    so sweeps over custom, unregistered hardware specs profile the same
+    hardware the parent pipeline does.
+    """
+    system, framework, runs_per_level, statistic, graph, batch = args
+    session = XSPSession(system=system, framework=framework)
+    pipeline = AnalysisPipeline(
+        session, runs_per_level=runs_per_level, statistic=statistic
+    )
+    return batch, pipeline.profile_model(graph, batch)
+
+
 class AnalysisPipeline:
-    """End-to-end: leveled experiments -> merged :class:`ModelProfile`."""
+    """End-to-end: leveled experiments -> merged :class:`ModelProfile`.
+
+    With a :class:`~repro.core.cache.ProfileStore` attached, merged
+    profiles are persisted to disk and later ``profile_model`` calls with
+    the same (model, system, framework, batch, runs-per-level)
+    coordinates — in this process or any other — skip the leveled
+    experiment ladder entirely.
+    """
 
     def __init__(
         self,
@@ -212,22 +246,92 @@ class AnalysisPipeline:
         *,
         runs_per_level: int = 3,
         statistic: Statistic = trimmed_mean,
+        store: "ProfileStore | None" = None,
     ) -> None:
         self.session = session
         self.experiment = LeveledExperiment(
             session, runs_per_level=runs_per_level, statistic=statistic
         )
         self.statistic = statistic
+        self.store = store
 
     # -- profile construction ---------------------------------------------------
     def profile_model(self, graph: Graph, batch: int) -> ModelProfile:
         """Run the full ladder and merge into an accurate profile."""
+        cached = self._cached(graph, batch)
+        if cached is not None:
+            return cached
         leveled = self.experiment.run(graph, batch)
-        return self.merge(leveled)
+        profile = self.merge(leveled)
+        if self.store is not None:
+            self.store.put(
+                profile,
+                runs_per_level=self.experiment.runs_per_level,
+                statistic=_statistic_name(self.statistic),
+            )
+        return profile
 
-    def sweep(self, graph: Graph, batches: Sequence[int]) -> dict[int, ModelProfile]:
-        """Profiles across batch sizes (A1 / Fig. 3 / Fig. 10 / Table VI)."""
-        return {b: self.profile_model(graph, b) for b in batches}
+    def sweep(
+        self,
+        graph: Graph,
+        batches: Sequence[int],
+        *,
+        parallel: bool = False,
+        max_workers: int | None = None,
+    ) -> dict[int, ModelProfile]:
+        """Profiles across batch sizes (A1 / Fig. 3 / Fig. 10 / Table VI).
+
+        ``parallel=True`` fans the uncached batch sizes out over worker
+        processes (the simulator is deterministic, so the profiles are
+        identical to a serial sweep).  Falls back to the serial path when
+        the workload cannot be shipped to workers (e.g. an unpicklable
+        custom statistic).
+        """
+        if not parallel or len(batches) < 2:
+            return {b: self.profile_model(graph, b) for b in batches}
+
+        cached = {b: self._cached(graph, b) for b in batches}
+        missing = [b for b in batches if cached[b] is None]
+        spec = (
+            self.session.gpu,
+            self.session.framework_cls.name,
+            self.experiment.runs_per_level,
+            self.statistic,
+            graph,
+        )
+        try:
+            pickle.dumps(spec)
+        except Exception:
+            return {b: self.profile_model(graph, b) for b in batches}
+        computed: dict[int, ModelProfile] = {}
+        if missing:
+            with ProcessPoolExecutor(
+                max_workers=min(max_workers or len(missing), len(missing))
+            ) as executor:
+                for batch, profile in executor.map(
+                    _sweep_worker, [spec + (b,) for b in missing]
+                ):
+                    computed[batch] = profile
+            if self.store is not None:
+                for profile in computed.values():
+                    self.store.put(
+                        profile,
+                        runs_per_level=self.experiment.runs_per_level,
+                        statistic=_statistic_name(self.statistic),
+                    )
+        return {b: cached[b] or computed[b] for b in batches}
+
+    def _cached(self, graph: Graph, batch: int) -> ModelProfile | None:
+        if self.store is None:
+            return None
+        return self.store.get(
+            graph.name,
+            self.session.gpu.name,
+            self.session.framework_cls.name,
+            batch,
+            self.experiment.runs_per_level,
+            _statistic_name(self.statistic),
+        )
 
     # -- merging ------------------------------------------------------------------
     def merge(self, leveled: LeveledResult) -> ModelProfile:
@@ -259,12 +363,14 @@ class AnalysisPipeline:
         )
 
     def _merge_layers(self, ml_runs: list[ProfiledRun]) -> list[LayerProfile]:
-        reference = ml_runs[0].layer_spans()
+        # One layer_spans() call per run, hoisted out of the per-position
+        # loop (the seed recomputed the level scan L times per run).
+        spans_per_run = [run.layer_spans() for run in ml_runs]
+        reference = spans_per_run[0]
         merged: list[LayerProfile] = []
         for pos, span in enumerate(reference):
             latencies = []
-            for run in ml_runs:
-                spans = run.layer_spans()
+            for spans in spans_per_run:
                 if pos < len(spans):
                     latencies.append(spans[pos].duration_ms)
             merged.append(

@@ -97,6 +97,14 @@ class ProfiledRun:
     kernels: list[MergedKernel] = field(default_factory=list)
     #: True when this run is the serialized retry of an ambiguous run.
     was_serialized_retry: bool = False
+    # Memoized derived views; a run's trace is complete and correlated by
+    # the time the run is constructed, so these never need invalidation.
+    _layer_spans: list[Span] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _kernels_by_layer: dict[int, list[MergedKernel]] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def model_latency_ms(self) -> float:
@@ -108,19 +116,24 @@ class ProfiledRun:
         return self.prediction.peak_device_memory_bytes / 1e6
 
     def layer_spans(self) -> list[Span]:
-        spans = self.trace.at_level(Level.LAYER)
-        spans.sort(key=lambda s: s.tags.get("layer_index", 0))
-        return spans
+        if self._layer_spans is None:
+            spans = self.trace.at_level(Level.LAYER)
+            spans.sort(key=lambda s: s.tags.get("layer_index", 0))
+            self._layer_spans = spans
+        return list(self._layer_spans)
 
     def kernels_by_layer(self) -> dict[int, list[MergedKernel]]:
         """Merged kernels grouped by layer index (via reconstructed parents)."""
-        by_span_id = {s.span_id: s for s in self.trace.spans}
-        grouped: dict[int, list[MergedKernel]] = {}
-        for mk in self.kernels:
-            parent = by_span_id.get(mk.parent_id) if mk.parent_id else None
-            idx = parent.tags.get("layer_index", -1) if parent else -1
-            grouped.setdefault(idx, []).append(mk)
-        return grouped
+        if self._kernels_by_layer is None:
+            by_span_id = self.trace.index.by_id()
+            grouped: dict[int, list[MergedKernel]] = {}
+            for mk in self.kernels:
+                parent = by_span_id.get(mk.parent_id) if mk.parent_id else None
+                idx = parent.tags.get("layer_index", -1) if parent else -1
+                grouped.setdefault(idx, []).append(mk)
+            self._kernels_by_layer = grouped
+        # Copy the buckets too: callers may sort/extend them in place.
+        return {k: list(v) for k, v in self._kernels_by_layer.items()}
 
     def summary(self) -> dict[str, Any]:
         return {

@@ -3,13 +3,24 @@
 Every experiment module pulls its inputs from here so profiles/sweeps are
 computed once per process regardless of how many experiments (or
 benchmarks) consume them.
+
+Two cache layers:
+
+* an in-process ``lru_cache`` (always on), and
+* an optional on-disk :class:`~repro.core.cache.ProfileStore` consulted
+  before any profile is recomputed, enabled by pointing the
+  ``XSP_PROFILE_CACHE`` environment variable at a directory.  With a warm
+  store, repeat benchmark/CLI invocations skip the leveled-experiment
+  ladder entirely.
 """
 
 from __future__ import annotations
 
 import functools
+import os
 
 from repro.core import AnalysisPipeline, XSPSession
+from repro.core.cache import ProfileStore
 from repro.core.pipeline import ModelProfile
 from repro.models import MXNET_ZOO, get_model
 from repro.workloads import ThroughputCurve, throughput_curve
@@ -18,9 +29,19 @@ from repro.workloads import ThroughputCurve, throughput_curve
 #: exercising the trimmed-mean machinery.
 RUNS_PER_LEVEL = 2
 
+#: Environment variable naming the on-disk profile-store directory.
+CACHE_ENV = "XSP_PROFILE_CACHE"
+
 RESNET50_ID = 7
 RESNET50_BATCHES = (1, 2, 4, 8, 16, 32, 64, 128, 256)
 SYSTEMS = ("Quadro_RTX", "Tesla_V100", "Tesla_P100", "Tesla_P4", "Tesla_M60")
+
+
+@functools.lru_cache(maxsize=None)
+def profile_store() -> ProfileStore | None:
+    """The on-disk store named by ``XSP_PROFILE_CACHE``, or ``None``."""
+    root = os.environ.get(CACHE_ENV)
+    return ProfileStore(root) if root else None
 
 
 @functools.lru_cache(maxsize=None)
@@ -31,7 +52,8 @@ def session(system: str = "Tesla_V100", framework: str = "tensorflow_like") -> X
 @functools.lru_cache(maxsize=None)
 def pipeline(system: str = "Tesla_V100", framework: str = "tensorflow_like") -> AnalysisPipeline:
     return AnalysisPipeline(session(system, framework),
-                            runs_per_level=RUNS_PER_LEVEL)
+                            runs_per_level=RUNS_PER_LEVEL,
+                            store=profile_store())
 
 
 @functools.lru_cache(maxsize=None)
@@ -68,7 +90,10 @@ def mxnet_graph(model_id: int):
 
 
 def clear() -> None:
-    """Drop all cached measurements (used by benchmarks to time cold runs)."""
+    """Drop all in-process cached measurements (used by benchmarks to time
+    cold runs).  The on-disk store, if any, is left intact — delete its
+    directory (or call ``profile_store().clear()``) to force a true cold
+    recompute."""
     for fn in (session, pipeline, model_profile, resnet50_sweep, curve,
-               mxnet_graph):
+               mxnet_graph, profile_store):
         fn.cache_clear()

@@ -20,7 +20,7 @@ Two reconstruction problems are solved here, following paper Sec. III-A/B:
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import defaultdict, deque
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -133,6 +133,7 @@ def correlate_launch_execution(trace: Trace) -> list[MergedKernel]:
         # Propagate parent onto the execution span for downstream queries.
         if execution.parent_id is None and launch.parent_id is not None:
             execution.parent_id = launch.parent_id
+    trace.touch_parents()
     return merged
 
 
@@ -145,8 +146,10 @@ def _parent_level_map(levels: list[Level]) -> dict[Level, Level | None]:
     return out
 
 
-def reconstruct_parents(trace: Trace, *, strict: bool = True) -> CorrelationResult:
-    """Assign parents to orphan spans via interval-tree containment.
+def reconstruct_parents(
+    trace: Trace, *, strict: bool = True, engine: str = "sweep"
+) -> CorrelationResult:
+    """Assign parents to orphan spans via interval containment.
 
     Only spans on the *host* timeline participate as children directly:
     device-side execution spans receive their parent through
@@ -158,7 +161,39 @@ def reconstruct_parents(trace: Trace, *, strict: bool = True) -> CorrelationResu
     ``strict=True`` raises :class:`AmbiguousParentError` on parallel-event
     ambiguity; ``strict=False`` records ambiguous spans in the result so a
     caller can trigger the serialized re-run.
+
+    ``engine`` selects the containment strategy:
+
+    * ``"sweep"`` (default) — one O(n log n) sweep over start-sorted spans
+      with a per-level active-parent stack; the hot path.
+    * ``"tree"`` — the original per-orphan interval-tree queries; kept as
+      the reference implementation the ablation benchmark checks the
+      sweep against.
+
+    Both engines see identical candidate sets for every orphan (candidates
+    depend only on static interval data, not on assignment order), so
+    their parent assignments — including which span first trips
+    :class:`AmbiguousParentError` in strict mode — are identical.
     """
+    if engine not in ("sweep", "tree"):
+        raise ValueError(f"unknown correlation engine {engine!r}")
+    result = CorrelationResult(trace=trace)
+    try:
+        if engine == "tree":
+            _reconstruct_tree(trace, strict=strict, result=result)
+        else:
+            _reconstruct_sweep(trace, strict=strict, result=result)
+    finally:
+        # parent_id fields changed (possibly partially, when strict mode
+        # raised); drop the trace's parent-derived indexes either way.
+        trace.touch_parents()
+    return result
+
+
+def _reconstruct_tree(
+    trace: Trace, *, strict: bool, result: CorrelationResult
+) -> None:
+    """Reference engine: per-orphan containment queries on interval trees."""
     levels = trace.levels_present()
     parent_of_level = _parent_level_map(levels)
 
@@ -168,7 +203,6 @@ def reconstruct_parents(trace: Trace, *, strict: bool = True) -> CorrelationResu
             Interval(s.start_ns, s.end_ns, s) for s in trace.at_level(lvl)
         )
 
-    result = CorrelationResult(trace=trace)
     for span in trace.sorted_spans():
         if span.parent_id is not None:
             continue
@@ -190,7 +224,97 @@ def reconstruct_parents(trace: Trace, *, strict: bool = True) -> CorrelationResu
         if chosen is not None:
             span.parent_id = chosen.span_id
             result.assigned[span.span_id] = chosen.span_id
-    return result
+
+
+def _reconstruct_sweep(
+    trace: Trace, *, strict: bool, result: CorrelationResult
+) -> None:
+    """Hot-path engine: one sweep over start-sorted spans.
+
+    For each present level the sweep keeps an *active-parent stack*: the
+    spans at that level whose interval is still open at the sweep
+    position, pushed in start order.  When an orphan at level ``c`` is
+    processed, every level-``parent_of[c]`` span starting at or before the
+    orphan has been admitted to that level's stack, expired entries
+    (ending before the orphan starts) have been popped, and the orphan's
+    candidate parents are exactly the stack entries whose end reaches the
+    orphan's end — the same containment set the interval tree computes,
+    without per-orphan tree queries or list churn.
+
+    The stack is a deque expired from both ends: sequential same-level
+    spans (the dominant layer pattern — ends increasing in push order)
+    expire from the front, nested spans (ends decreasing) from the back.
+    Non-monotonic overlap patterns can strand dead entries in the
+    interior; the candidate scan counts them and compacts the deque the
+    moment it sees one, so each span is swept out at most once and the
+    stack never holds more than the true concurrent-overlap depth for
+    long.  Stranded entries are harmless for correctness meanwhile — a
+    candidate needs ``end >= orphan.end`` while expiry means
+    ``end < orphan.start``.
+    """
+    index = trace.index
+    levels = index.levels_present()
+    parent_of_level = _parent_level_map(levels)
+
+    # Per-level admission cursor into the level's start-sorted span array.
+    # Only levels that can actually parent something are materialized (the
+    # deepest level's bucket — usually the kernel-dominated bulk of the
+    # trace — never needs sorting).
+    parent_levels = {lvl for lvl in parent_of_level.values() if lvl is not None}
+    cursors: dict[Level, int] = {lvl: 0 for lvl in parent_levels}
+    actives: dict[Level, deque[Span]] = {lvl: deque() for lvl in parent_levels}
+    arrays: dict[Level, list[Span]] = {
+        lvl: index.level_sorted(lvl) for lvl in parent_levels
+    }
+
+    for span in index.sorted_spans():
+        if span.parent_id is not None:
+            continue
+        if span.kind == SpanKind.EXECUTION:
+            continue  # handled by launch/execution correlation
+        target_level = parent_of_level.get(span.level)
+        if target_level is None:
+            continue  # top-of-stack spans legitimately have no parent
+        start = span.start_ns
+        end = span.end_ns
+        # Admit parents whose interval can reach back to this orphan.  The
+        # cursor is independent of the global sweep position so that a
+        # parent sharing the orphan's (start, -duration) sort key is
+        # admitted regardless of tie-break order.
+        arr = arrays[target_level]
+        cur = cursors[target_level]
+        active = actives[target_level]
+        n = len(arr)
+        while cur < n and arr[cur].start_ns <= start:
+            active.append(arr[cur])
+            cur += 1
+        cursors[target_level] = cur
+        # Expire parents that ended before this orphan started.
+        while active and active[0].end_ns < start:
+            active.popleft()
+        while active and active[-1].end_ns < start:
+            active.pop()
+        if not active:
+            continue
+        span_id = span.span_id
+        candidates = []
+        stranded = 0
+        for p in active:
+            p_end = p.end_ns
+            if p_end < start:
+                stranded += 1
+            elif p_end >= end and p.span_id != span_id:
+                candidates.append(p)
+        if stranded:
+            actives[target_level] = deque(
+                p for p in active if p.end_ns >= start
+            )
+        if not candidates:
+            continue
+        chosen = _choose_parent(span, candidates, strict=strict, result=result)
+        if chosen is not None:
+            span.parent_id = chosen.span_id
+            result.assigned[span.span_id] = chosen.span_id
 
 
 def _choose_parent(

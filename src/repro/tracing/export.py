@@ -79,9 +79,9 @@ def trace_from_json(document: str) -> Trace:
             f"(expected {FORMAT_VERSION})"
         )
     trace = Trace(trace_id=data["trace_id"], metadata=dict(data["metadata"]))
-    for span_data in data["spans"]:
-        span = span_from_dict(span_data)
-        trace.spans.append(span)  # keep the original trace_id on each span
+    # Bulk list extend (not Trace.add) keeps each span's original trace_id;
+    # the trace's lazy index is built on first query after loading.
+    trace.spans.extend(span_from_dict(s) for s in data["spans"])
     return trace
 
 

@@ -1,0 +1,181 @@
+"""Lazily-built query indexes over a :class:`~repro.tracing.trace.Trace`.
+
+The analysis pipeline's defining access pattern is *index once, query
+many*: a trace is captured (or loaded) once and then interrogated by the
+correlation pass, the merge step, and all 15 analyses.  The seed
+implementation answered every query with a fresh O(n) scan of the span
+list; :class:`TraceIndex` builds each index a single time and serves all
+subsequent queries from it.
+
+Invalidation model
+------------------
+Indexes are keyed on span *membership* (the identity and length of the
+trace's span list): :meth:`Trace.add`/:meth:`Trace.extend` drop the index,
+and a direct ``trace.spans.append(...)`` is caught by the length check the
+next time the index is consulted.  Spans themselves are immutable for
+indexing purposes with one exception — ``parent_id``, which the offline
+correlation pass assigns after capture.  The parent-derived indexes
+(children, roots) therefore live behind a separate epoch that
+:func:`repro.tracing.correlation.reconstruct_parents` and
+:func:`~repro.tracing.correlation.correlate_launch_execution` bump via
+:meth:`Trace.touch_parents`.  Code that mutates ``span.parent_id`` by hand
+after querying a trace must do the same.
+"""
+
+from __future__ import annotations
+
+from operator import attrgetter
+from typing import Dict, List, Optional, Tuple
+
+from repro.tracing.span import Level, Span, SpanKind
+
+_START = attrgetter("start_ns")
+_END = attrgetter("end_ns")
+
+
+def _timeline_sorted(spans: List[Span]) -> List[Span]:
+    """Spans by (start, -duration) — parents before children.
+
+    Two stable C-keyed passes (end desc, then start asc) beat one pass
+    with a Python tuple key: equal starts keep the end-descending order,
+    which is exactly duration-descending.
+    """
+    out = sorted(spans, key=_END, reverse=True)
+    out.sort(key=_START)
+    return out
+
+
+class TraceIndex:
+    """Indexes over one snapshot of a trace's span list.
+
+    All builders are lazy: the first query of each family pays the build
+    cost, subsequent queries are dictionary/list lookups.  The containers
+    returned by accessors are the internal ones — :class:`Trace` copies
+    them before handing them to callers so the cached state can never be
+    corrupted from outside.
+    """
+
+    __slots__ = (
+        "_spans",
+        "_n",
+        "_sorted",
+        "_by_level",
+        "_by_level_sorted",
+        "_by_kind",
+        "_by_id",
+        "_extent",
+        "_levels",
+        "_children",
+        "_roots",
+    )
+
+    def __init__(self, spans: List[Span]) -> None:
+        self._spans = spans
+        self._n = len(spans)
+        self._sorted: Optional[List[Span]] = None
+        self._by_level: Optional[Dict[Level, List[Span]]] = None
+        self._by_level_sorted: Dict[Level, List[Span]] = {}
+        self._by_kind: Optional[Dict[SpanKind, List[Span]]] = None
+        self._by_id: Optional[Dict[int, Span]] = None
+        self._extent: Optional[Tuple[int, int]] = None
+        self._levels: Optional[List[Level]] = None
+        self._children: Optional[Dict[Optional[int], List[Span]]] = None
+        self._roots: Optional[List[Span]] = None
+
+    # -- cache validity ---------------------------------------------------
+    def fresh_for(self, spans: List[Span]) -> bool:
+        """True while this index still describes ``spans``' membership."""
+        return self._spans is spans and self._n == len(spans)
+
+    def invalidate_parents(self) -> None:
+        """Drop the parent-derived indexes (children, roots)."""
+        self._children = None
+        self._roots = None
+
+    # -- structural indexes (immutable span attributes) -------------------
+    def sorted_spans(self) -> List[Span]:
+        """Spans in timeline order (start asc, duration desc; stable)."""
+        if self._sorted is None:
+            self._sorted = _timeline_sorted(self._spans)
+        return self._sorted
+
+    def by_level(self) -> Dict[Level, List[Span]]:
+        """Level -> spans at that level, in publication order."""
+        if self._by_level is None:
+            buckets: Dict[Level, List[Span]] = {}
+            for s in self._spans:
+                try:
+                    buckets[s.level].append(s)
+                except KeyError:
+                    buckets[s.level] = [s]
+            self._by_level = buckets
+        return self._by_level
+
+    def level_sorted(self, level: Level) -> List[Span]:
+        """Spans at ``level`` in timeline order (the sweep-line's view)."""
+        cached = self._by_level_sorted.get(level)
+        if cached is None:
+            cached = _timeline_sorted(self.by_level().get(level, []))
+            self._by_level_sorted[level] = cached
+        return cached
+
+    def by_kind(self) -> Dict[SpanKind, List[Span]]:
+        if self._by_kind is None:
+            buckets: Dict[SpanKind, List[Span]] = {}
+            for s in self._spans:
+                try:
+                    buckets[s.kind].append(s)
+                except KeyError:
+                    buckets[s.kind] = [s]
+            self._by_kind = buckets
+        return self._by_kind
+
+    def by_id(self) -> Dict[int, Span]:
+        if self._by_id is None:
+            self._by_id = {s.span_id: s for s in self._spans}
+        return self._by_id
+
+    def levels_present(self) -> List[Level]:
+        if self._levels is None:
+            self._levels = sorted(self.by_level())
+        return self._levels
+
+    def extent_ns(self) -> Tuple[int, int]:
+        """(min start, max end) across all spans; (0, 0) when empty."""
+        if self._extent is None:
+            if not self._spans:
+                self._extent = (0, 0)
+            else:
+                lo = min(s.start_ns for s in self._spans)
+                hi = max(s.end_ns for s in self._spans)
+                self._extent = (lo, hi)
+        return self._extent
+
+    # -- parent-derived indexes (see the invalidation model above) --------
+    def children_index(self) -> Dict[Optional[int], List[Span]]:
+        """Parent span id -> children, each bucket in start order."""
+        if self._children is None:
+            buckets: Dict[Optional[int], List[Span]] = {}
+            for s in self._spans:
+                try:
+                    buckets[s.parent_id].append(s)
+                except KeyError:
+                    buckets[s.parent_id] = [s]
+            for kids in buckets.values():
+                kids.sort(key=lambda s: s.start_ns)
+            self._children = buckets
+        return self._children
+
+    def children_of(self, span_id: int) -> List[Span]:
+        return self.children_index().get(span_id, [])
+
+    def roots(self) -> List[Span]:
+        """Spans with no (known) parent, in publication order."""
+        if self._roots is None:
+            ids = self.by_id()
+            self._roots = [
+                s
+                for s in self._spans
+                if s.parent_id is None or s.parent_id not in ids
+            ]
+        return self._roots

@@ -7,9 +7,13 @@ tree supporting stabbing queries (all intervals containing a point) and
 containment queries (all intervals containing a query interval), both in
 O(log n + k).
 
-The implementation is self-contained (no third-party interval library) and
-deliberately favours clarity: trees are built once per trace and queried
-many times.
+The implementation is self-contained (no third-party interval library).
+It remains the *reference* engine for parent reconstruction — the hot
+path uses the sweep-line correlator in :mod:`repro.tracing.correlation` —
+but it is tuned all the same: construction is iterative (no recursion
+depth limit on adversarial traces) and every node precomputes the
+endpoint arrays its queries bisect over, so queries allocate nothing
+beyond their result lists.
 """
 
 from __future__ import annotations
@@ -55,9 +59,12 @@ class Interval(Generic[T]):
 @dataclass
 class _Node(Generic[T]):
     center: int
-    # Intervals crossing `center`, sorted by start ascending / end descending.
+    # Intervals crossing `center`, sorted by start ascending / end descending,
+    # with their endpoint arrays precomputed for bisection.
     by_start: List[Interval[T]] = field(default_factory=list)
     by_end: List[Interval[T]] = field(default_factory=list)
+    starts: List[int] = field(default_factory=list)  # by_start[i].start
+    neg_ends: List[int] = field(default_factory=list)  # -by_end[i].end (asc)
     left: Optional["_Node[T]"] = None
     right: Optional["_Node[T]"] = None
 
@@ -85,26 +92,37 @@ class IntervalTree(Generic[T]):
     # -- construction ----------------------------------------------------
     @staticmethod
     def _build(intervals: list[Interval[T]]) -> Optional[_Node[T]]:
+        """Iterative centered-tree construction (explicit work stack)."""
         if not intervals:
             return None
-        endpoints = sorted({iv.start for iv in intervals} | {iv.end for iv in intervals})
-        center = endpoints[len(endpoints) // 2]
-        crossing: list[Interval[T]] = []
-        lefts: list[Interval[T]] = []
-        rights: list[Interval[T]] = []
-        for iv in intervals:
-            if iv.end < center:
-                lefts.append(iv)
-            elif iv.start > center:
-                rights.append(iv)
-            else:
-                crossing.append(iv)
-        node = _Node(center=center)
-        node.by_start = sorted(crossing, key=lambda iv: iv.start)
-        node.by_end = sorted(crossing, key=lambda iv: -iv.end)
-        node.left = IntervalTree._build(lefts)
-        node.right = IntervalTree._build(rights)
-        return node
+        root = _Node(center=0)  # placeholder; filled by the first work item
+        work: list[tuple[list[Interval[T]], _Node[T]]] = [(intervals, root)]
+        while work:
+            ivs, node = work.pop()
+            endpoints = sorted({iv.start for iv in ivs} | {iv.end for iv in ivs})
+            center = endpoints[len(endpoints) // 2]
+            crossing: list[Interval[T]] = []
+            lefts: list[Interval[T]] = []
+            rights: list[Interval[T]] = []
+            for iv in ivs:
+                if iv.end < center:
+                    lefts.append(iv)
+                elif iv.start > center:
+                    rights.append(iv)
+                else:
+                    crossing.append(iv)
+            node.center = center
+            node.by_start = sorted(crossing, key=lambda iv: iv.start)
+            node.by_end = sorted(crossing, key=lambda iv: -iv.end)
+            node.starts = [iv.start for iv in node.by_start]
+            node.neg_ends = [-iv.end for iv in node.by_end]
+            if lefts:
+                node.left = _Node(center=0)
+                work.append((lefts, node.left))
+            if rights:
+                node.right = _Node(center=0)
+                work.append((rights, node.right))
+        return root
 
     # -- queries ----------------------------------------------------------
     def stab(self, point: int) -> list[Interval[T]]:
@@ -115,16 +133,13 @@ class IntervalTree(Generic[T]):
             if point < node.center:
                 # Crossing intervals sorted by start: those starting <= point
                 # necessarily contain the point (they all end >= center > point).
-                starts = [iv.start for iv in node.by_start]
-                idx = bisect.bisect_right(starts, point)
+                idx = bisect.bisect_right(node.starts, point)
                 out.extend(node.by_start[:idx])
                 node = node.left
             elif point > node.center:
                 # Sorted by end descending: those ending >= point contain it.
-                for iv in node.by_end:
-                    if iv.end < point:
-                        break
-                    out.append(iv)
+                idx = bisect.bisect_right(node.neg_ends, -point)
+                out.extend(node.by_end[:idx])
                 node = node.right
             else:
                 out.extend(node.by_start)
@@ -133,35 +148,58 @@ class IntervalTree(Generic[T]):
 
     def containing(self, query: Interval[Any]) -> list[Interval[T]]:
         """All intervals that fully contain ``query``."""
-        return [iv for iv in self.stab(query.start) if iv.end >= query.end]
+        qs, qe = query.start, query.end
+        out: list[Interval[T]] = []
+        node = self._root
+        while node is not None:
+            if qs < node.center:
+                # Crossing intervals with start <= qs contain the stab point;
+                # keep those whose end also reaches qe.
+                idx = bisect.bisect_right(node.starts, qs)
+                for iv in node.by_start[:idx]:
+                    if iv.end >= qe:
+                        out.append(iv)
+                node = node.left
+            elif qs > node.center:
+                # All crossing intervals start <= center < qs; keep those
+                # whose end reaches qe (>= qe implies >= qs here).
+                idx = bisect.bisect_right(node.neg_ends, -qe)
+                out.extend(node.by_end[:idx])
+                node = node.right
+            else:
+                idx = bisect.bisect_right(node.neg_ends, -qe)
+                out.extend(node.by_end[:idx])
+                node = None
+        return out
 
     def overlapping(self, query: Interval[Any]) -> list[Interval[T]]:
         """All intervals overlapping ``query`` (inclusive endpoints)."""
         out: list[Interval[T]] = []
-        self._overlap(self._root, query, out)
+        root = self._root
+        if root is None:
+            return out
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if query.start <= node.center <= query.end:
+                out.extend(node.by_start)
+                if node.left is not None:
+                    stack.append(node.left)
+                if node.right is not None:
+                    stack.append(node.right)
+            elif query.end < node.center:
+                # Crossing intervals start <= center; they overlap iff
+                # start <= query.end.
+                idx = bisect.bisect_right(node.starts, query.end)
+                out.extend(node.by_start[:idx])
+                if node.left is not None:
+                    stack.append(node.left)
+            else:  # query.start > node.center
+                idx = bisect.bisect_right(node.neg_ends, -query.start)
+                out.extend(node.by_end[:idx])
+                if node.right is not None:
+                    stack.append(node.right)
         return out
-
-    def _overlap(
-        self, node: Optional[_Node[T]], query: Interval[Any], out: list[Interval[T]]
-    ) -> None:
-        if node is None:
-            return
-        if query.start <= node.center <= query.end:
-            out.extend(node.by_start)
-            self._overlap(node.left, query, out)
-            self._overlap(node.right, query, out)
-        elif query.end < node.center:
-            # Crossing intervals start <= center; they overlap iff start <= query.end.
-            starts = [iv.start for iv in node.by_start]
-            idx = bisect.bisect_right(starts, query.end)
-            out.extend(node.by_start[:idx])
-            self._overlap(node.left, query, out)
-        else:  # query.start > node.center
-            for iv in node.by_end:
-                if iv.end < query.start:
-                    break
-                out.append(iv)
-            self._overlap(node.right, query, out)
 
     # -- helpers -----------------------------------------------------------
     def tightest_containing(self, query: Interval[Any]) -> Optional[Interval[T]]:

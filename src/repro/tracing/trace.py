@@ -3,6 +3,12 @@
 A :class:`Trace` is what the tracing server hands to the analysis pipeline.
 It provides level-based queries, child lookup, and export to the Chrome
 ``chrome://tracing`` JSON format for visual inspection.
+
+Queries are served by a lazily-built :class:`~repro.tracing.index.TraceIndex`
+(index once, query many): the first query after a mutation pays one
+O(n log n) build, every later query is a lookup.  Mutating methods
+invalidate the index; code that assigns ``span.parent_id`` by hand after
+querying must call :meth:`Trace.touch_parents`.
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator
 
+from repro.tracing.index import TraceIndex
 from repro.tracing.span import Level, Span, SpanKind
 
 
@@ -22,15 +29,38 @@ class Trace:
     trace_id: int
     spans: list[Span] = field(default_factory=list)
     metadata: dict[str, Any] = field(default_factory=dict)
+    _index: TraceIndex | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # -- mutation ---------------------------------------------------------
     def add(self, span: Span) -> None:
         span.trace_id = self.trace_id
         self.spans.append(span)
+        self._index = None
 
     def extend(self, spans: Iterable[Span]) -> None:
         for s in spans:
             self.add(s)
+
+    # -- index lifecycle --------------------------------------------------
+    @property
+    def index(self) -> TraceIndex:
+        """The current (lazily rebuilt) index over this trace's spans."""
+        idx = self._index
+        if idx is None or not idx.fresh_for(self.spans):
+            idx = TraceIndex(self.spans)
+            self._index = idx
+        return idx
+
+    def invalidate_index(self) -> None:
+        """Force a full index rebuild on the next query."""
+        self._index = None
+
+    def touch_parents(self) -> None:
+        """Signal that ``parent_id`` fields changed (children/roots stale)."""
+        if self._index is not None:
+            self._index.invalidate_parents()
 
     # -- queries ------------------------------------------------------------
     def __len__(self) -> int:
@@ -41,13 +71,13 @@ class Trace:
 
     def sorted_spans(self) -> list[Span]:
         """Spans sorted by (start, -duration) — parents before children."""
-        return sorted(self.spans, key=lambda s: (s.start_ns, -s.duration_ns))
+        return list(self.index.sorted_spans())
 
     def at_level(self, level: Level) -> list[Span]:
-        return [s for s in self.spans if s.level == level]
+        return list(self.index.by_level().get(level, ()))
 
     def of_kind(self, kind: SpanKind) -> list[Span]:
-        return [s for s in self.spans if s.kind == kind]
+        return list(self.index.by_kind().get(kind, ()))
 
     def find(self, predicate: Callable[[Span], bool]) -> list[Span]:
         return [s for s in self.spans if predicate(s)]
@@ -59,35 +89,24 @@ class Trace:
         return None
 
     def by_id(self) -> dict[int, Span]:
-        return {s.span_id: s for s in self.spans}
+        return dict(self.index.by_id())
 
     def children_of(self, span: Span) -> list[Span]:
-        return [s for s in self.spans if s.parent_id == span.span_id]
+        return list(self.index.children_of(span.span_id))
 
     def children_index(self) -> dict[int | None, list[Span]]:
         """Map parent span id -> children, in start order."""
-        index: dict[int | None, list[Span]] = defaultdict(list)
-        for s in self.spans:
-            index[s.parent_id].append(s)
-        for kids in index.values():
-            kids.sort(key=lambda s: s.start_ns)
-        return dict(index)
+        return {k: list(v) for k, v in self.index.children_index().items()}
 
     def roots(self) -> list[Span]:
-        ids = {s.span_id for s in self.spans}
-        return [s for s in self.spans if s.parent_id is None or s.parent_id not in ids]
+        return list(self.index.roots())
 
     def levels_present(self) -> list[Level]:
-        return sorted({s.level for s in self.spans})
+        return list(self.index.levels_present())
 
     def span_extent_ns(self) -> tuple[int, int]:
         """(min start, max end) across all spans; (0, 0) when empty."""
-        if not self.spans:
-            return (0, 0)
-        return (
-            min(s.start_ns for s in self.spans),
-            max(s.end_ns for s in self.spans),
-        )
+        return self.index.extent_ns()
 
     # -- export ---------------------------------------------------------------
     def to_chrome_trace(self) -> str:
@@ -117,8 +136,8 @@ class Trace:
     def summary(self) -> dict[str, Any]:
         """Compact description used in test assertions and reports."""
         per_level = defaultdict(int)
-        for s in self.spans:
-            per_level[s.level.name] += 1
+        for level, spans in self.index.by_level().items():
+            per_level[level.name] += len(spans)
         lo, hi = self.span_extent_ns()
         return {
             "trace_id": self.trace_id,

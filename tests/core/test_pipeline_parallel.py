@@ -1,0 +1,123 @@
+"""Parallel batch sweeps: worker-process fan-out matches the serial path."""
+
+import pytest
+
+from repro.core import AnalysisPipeline, ProfileStore, XSPSession
+from repro.models import get_model
+
+MODEL_ID = 53
+BATCHES = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return get_model(MODEL_ID).graph
+
+
+def _pipeline(**kwargs):
+    return AnalysisPipeline(XSPSession("Tesla_V100"), runs_per_level=2,
+                            **kwargs)
+
+
+def _assert_profiles_equal(a, b):
+    assert a.model_latency_ms == b.model_latency_ms
+    assert a.throughput == b.throughput
+    assert a.flops == b.flops
+    assert a.achieved_occupancy == b.achieved_occupancy
+    assert a.memory_bound == b.memory_bound
+    assert len(a.layers) == len(b.layers)
+    for la, lb in zip(a.layers, b.layers):
+        assert la.latency_ms == lb.latency_ms
+        assert [k.name for k in la.kernels] == [k.name for k in lb.kernels]
+
+
+def test_parallel_sweep_matches_serial(graph):
+    serial = _pipeline().sweep(graph, BATCHES)
+    parallel = _pipeline().sweep(graph, BATCHES, parallel=True)
+    assert sorted(parallel) == sorted(serial) == sorted(BATCHES)
+    for batch in BATCHES:
+        _assert_profiles_equal(serial[batch], parallel[batch])
+
+
+def test_parallel_sweep_fills_the_store(graph, tmp_path):
+    store = ProfileStore(tmp_path)
+    _pipeline(store=store).sweep(graph, BATCHES, parallel=True)
+    assert len(store) == len(BATCHES)
+    for batch in BATCHES:
+        assert store.get(graph.name, "Tesla_V100", "tensorflow_like", batch,
+                         2) is not None
+
+
+def test_parallel_sweep_serves_cached_batches_without_workers(
+    graph, tmp_path, monkeypatch
+):
+    store = ProfileStore(tmp_path)
+    warmup = _pipeline(store=store)
+    expected = warmup.sweep(graph, BATCHES)
+
+    import repro.core.pipeline as pipeline_mod
+
+    def no_workers(*args, **kwargs):  # pragma: no cover - must not run
+        raise AssertionError("fully cached sweep must not spawn workers")
+
+    monkeypatch.setattr(pipeline_mod, "ProcessPoolExecutor", no_workers)
+    served = _pipeline(store=store).sweep(graph, BATCHES, parallel=True)
+    for batch in BATCHES:
+        _assert_profiles_equal(expected[batch], served[batch])
+
+
+def test_unpicklable_statistic_falls_back_to_serial(graph):
+    calls = []
+
+    def local_stat(values):  # locals don't pickle -> serial fallback
+        calls.append(1)
+        return sum(values) / len(values)
+
+    pipe = _pipeline(statistic=local_stat)
+    result = pipe.sweep(graph, BATCHES, parallel=True)
+    assert sorted(result) == sorted(BATCHES)
+    assert calls  # the statistic ran in this process
+
+
+def test_parallel_sweep_with_custom_gpu_spec(graph):
+    """Workers must profile the actual GPUSpec, not look its name up."""
+    from dataclasses import replace
+
+    from repro.sim.hardware import get_system
+
+    custom = replace(get_system("Tesla_V100"), name="Custom_V100_OC",
+                     peak_tflops=20.0)
+    pipe = AnalysisPipeline(XSPSession(custom), runs_per_level=2)
+    serial = pipe.sweep(graph, BATCHES)
+    parallel = pipe.sweep(graph, BATCHES, parallel=True)
+    for batch in BATCHES:
+        a, b = serial[batch], parallel[batch]
+        assert b.system == "Custom_V100_OC"
+        # (not _assert_profiles_equal: .memory_bound needs a cataloged
+        # system name, which a custom spec deliberately is not)
+        assert a.model_latency_ms == b.model_latency_ms
+        assert a.flops == b.flops
+        assert len(a.layers) == len(b.layers)
+
+
+def test_kernels_by_layer_memo_is_caller_safe(graph):
+    """In-place mutation of a returned bucket must not leak into the memo."""
+    run = XSPSession("Tesla_V100").profile(graph, 2)
+    first = run.kernels_by_layer()
+    some_layer = next(iter(first))
+    before = [mk.name for mk in first[some_layer]]
+    first[some_layer].reverse()
+    first[some_layer].append(first[some_layer][0])
+    again = run.kernels_by_layer()
+    assert [mk.name for mk in again[some_layer]] == before
+
+
+def test_single_batch_sweep_stays_serial(graph, monkeypatch):
+    import repro.core.pipeline as pipeline_mod
+
+    def no_workers(*args, **kwargs):  # pragma: no cover - must not run
+        raise AssertionError("single-batch sweep must not spawn workers")
+
+    monkeypatch.setattr(pipeline_mod, "ProcessPoolExecutor", no_workers)
+    result = _pipeline().sweep(graph, [8], parallel=True)
+    assert sorted(result) == [8]

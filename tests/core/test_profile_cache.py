@@ -1,0 +1,191 @@
+"""On-disk ModelProfile store: round-trip fidelity, keying, invalidation,
+and the warm-cache fast path that skips the leveled experiment ladder."""
+
+import json
+
+import pytest
+
+from repro.core import AnalysisPipeline, LeveledExperiment, ProfileStore, XSPSession
+from repro.core import cache as cache_mod
+from repro.models import get_model
+
+MODEL_ID = 53  # small graph keeps the cold computes cheap
+BATCH = 4
+RUNS = 2
+
+
+@pytest.fixture()
+def graph():
+    return get_model(MODEL_ID).graph
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ProfileStore(tmp_path / "profiles")
+
+
+def _pipeline(store=None, runs=RUNS):
+    return AnalysisPipeline(
+        XSPSession("Tesla_V100"), runs_per_level=runs, store=store
+    )
+
+
+def test_round_trip_preserves_all_derived_properties(graph, store):
+    original = _pipeline().profile_model(graph, BATCH)
+    store.put(original, runs_per_level=RUNS)
+    restored = store.get(
+        graph.name, "Tesla_V100", "tensorflow_like", BATCH, RUNS
+    )
+    assert restored is not None
+    assert restored is not original
+
+    assert restored.model_latency_ms == original.model_latency_ms
+    assert restored.throughput == original.throughput
+    assert restored.flops == original.flops
+    assert restored.dram_read_bytes == original.dram_read_bytes
+    assert restored.dram_write_bytes == original.dram_write_bytes
+    assert restored.achieved_occupancy == original.achieved_occupancy
+    assert restored.arithmetic_intensity == original.arithmetic_intensity
+    assert restored.memory_bound == original.memory_bound  # roofline class
+    assert restored.gpu_latency_percentage == original.gpu_latency_percentage
+    assert restored.overheads == original.overheads
+    assert restored.n_runs == original.n_runs
+
+    assert len(restored.layers) == len(original.layers)
+    for mine, theirs in zip(restored.layers, original.layers):
+        assert mine.index == theirs.index
+        assert mine.name == theirs.name
+        assert mine.layer_type == theirs.layer_type
+        assert mine.shape == theirs.shape
+        assert mine.latency_ms == theirs.latency_ms
+        assert mine.alloc_bytes == theirs.alloc_bytes
+        assert mine.achieved_occupancy == theirs.achieved_occupancy
+        assert len(mine.kernels) == len(theirs.kernels)
+        for rk, ok in zip(mine.kernels, theirs.kernels):
+            assert rk == ok  # KernelProfile is a frozen dataclass
+
+
+def test_missing_entry_is_none(graph, store):
+    assert store.get(graph.name, "Tesla_V100", "tensorflow_like", BATCH,
+                     RUNS) is None
+
+
+def test_runs_per_level_is_part_of_the_key(graph, store):
+    profile = _pipeline(store).profile_model(graph, BATCH)
+    assert store.get(graph.name, profile.system, profile.framework, BATCH,
+                     RUNS) is not None
+    # A different repetition count must miss (it changes the statistics).
+    assert store.get(graph.name, profile.system, profile.framework, BATCH,
+                     RUNS + 1) is None
+
+
+def test_statistic_is_part_of_the_key(graph, store):
+    """A pipeline with a different merge statistic must not be served a
+    profile merged with another one."""
+    _pipeline(store).profile_model(graph, BATCH)  # trimmed_mean entry
+
+    def mean(values):
+        return sum(values) / len(values)
+
+    ran = []
+    other = AnalysisPipeline(
+        XSPSession("Tesla_V100"), runs_per_level=RUNS, statistic=mean,
+        store=store,
+    )
+
+    original_run = LeveledExperiment.run
+
+    def tracking_run(self, *args, **kwargs):
+        ran.append(1)
+        return original_run(self, *args, **kwargs)
+
+    LeveledExperiment.run, saved = tracking_run, LeveledExperiment.run
+    try:
+        profile = other.profile_model(graph, BATCH)
+    finally:
+        LeveledExperiment.run = saved
+    assert ran, "different statistic must miss the cache and recompute"
+    assert profile.model_latency_ms > 0
+
+
+def test_schema_version_change_invalidates(graph, store):
+    profile = _pipeline(store).profile_model(graph, BATCH)
+    path = store.path_for(graph.name, profile.system, profile.framework,
+                          BATCH, RUNS)
+    document = json.loads(path.read_text())
+    document["schema_version"] = cache_mod.SCHEMA_VERSION + 1
+    path.write_text(json.dumps(document))
+    assert store.get(graph.name, profile.system, profile.framework, BATCH,
+                     RUNS) is None
+
+
+def test_corrupt_entry_is_a_miss(graph, store):
+    profile = _pipeline(store).profile_model(graph, BATCH)
+    path = store.path_for(graph.name, profile.system, profile.framework,
+                          BATCH, RUNS)
+    path.write_text("{not json")
+    assert store.get(graph.name, profile.system, profile.framework, BATCH,
+                     RUNS) is None
+
+
+def test_mismatched_stored_key_is_a_miss(graph, store):
+    profile = _pipeline(store).profile_model(graph, BATCH)
+    path = store.path_for(graph.name, profile.system, profile.framework,
+                          BATCH, RUNS)
+    document = json.loads(path.read_text())
+    document["key"]["batch"] = BATCH + 1  # simulated filename collision
+    path.write_text(json.dumps(document))
+    assert store.get(graph.name, profile.system, profile.framework, BATCH,
+                     RUNS) is None
+
+
+def test_warm_cache_skips_leveled_experiment_entirely(
+    graph, store, monkeypatch
+):
+    """Quickstart-style repeat run: zero calls into LeveledExperiment.run."""
+    cold = _pipeline(store).profile_model(graph, BATCH)
+
+    calls = []
+
+    def counting_run(self, *args, **kwargs):  # pragma: no cover - must not run
+        calls.append(args)
+        raise AssertionError("warm-cache run must not re-profile")
+
+    monkeypatch.setattr(LeveledExperiment, "run", counting_run)
+    warm = _pipeline(store).profile_model(graph, BATCH)
+    assert calls == []
+    assert warm.model_latency_ms == cold.model_latency_ms
+    assert warm.throughput == cold.throughput
+
+
+def test_clear_and_entries(graph, store):
+    _pipeline(store).profile_model(graph, BATCH)
+    _pipeline(store).profile_model(graph, BATCH + 1)
+    assert len(store) == 2
+    assert store.clear() == 2
+    assert len(store) == 0
+
+
+def test_context_consults_store_from_environment(tmp_path, monkeypatch):
+    from repro.experiments import context
+
+    cache_dir = tmp_path / "ctx-cache"
+    monkeypatch.setenv(context.CACHE_ENV, str(cache_dir))
+    context.clear()
+    try:
+        cold = context.model_profile(MODEL_ID, BATCH)
+        assert cache_dir.exists() and any(cache_dir.iterdir())
+
+        # New process simulated: drop in-memory caches, forbid re-profiling.
+        context.clear()
+
+        def no_run(self, *args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("profile must come from the disk store")
+
+        monkeypatch.setattr(LeveledExperiment, "run", no_run)
+        warm = context.model_profile(MODEL_ID, BATCH)
+        assert warm is not cold
+        assert warm.model_latency_ms == cold.model_latency_ms
+    finally:
+        monkeypatch.delenv(context.CACHE_ENV, raising=False)
+        context.clear()

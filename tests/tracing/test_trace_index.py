@@ -1,0 +1,121 @@
+"""TraceIndex: indexed queries agree with naive scans and survive mutation."""
+
+import random
+
+from repro.tracing import Level, Span, SpanKind, Trace
+from repro.tracing.correlation import reconstruct_parents
+
+
+def _random_trace(n=120, seed=5):
+    rng = random.Random(seed)
+    t = Trace(trace_id=1)
+    for i in range(1, n + 1):
+        start = rng.randint(0, 10_000)
+        end = start + rng.randint(0, 2_000)
+        level = rng.choice(list(Level))
+        kind = rng.choice(list(SpanKind))
+        parent = rng.choice([None, rng.randint(1, n)])
+        t.add(Span(f"s{i}", start, end, level, span_id=i, parent_id=parent,
+                   kind=kind))
+    return t
+
+
+def test_indexed_queries_match_naive_scans():
+    t = _random_trace()
+    spans = t.spans
+    assert t.sorted_spans() == sorted(
+        spans, key=lambda s: (s.start_ns, -s.duration_ns)
+    )
+    for level in Level:
+        assert t.at_level(level) == [s for s in spans if s.level == level]
+    for kind in SpanKind:
+        assert t.of_kind(kind) == [s for s in spans if s.kind == kind]
+    assert t.by_id() == {s.span_id: s for s in spans}
+    assert t.levels_present() == sorted({s.level for s in spans})
+    assert t.span_extent_ns() == (
+        min(s.start_ns for s in spans),
+        max(s.end_ns for s in spans),
+    )
+    ids = {s.span_id for s in spans}
+    assert t.roots() == [
+        s for s in spans if s.parent_id is None or s.parent_id not in ids
+    ]
+    for span in spans[:10]:
+        expected = sorted(
+            (s for s in spans if s.parent_id == span.span_id),
+            key=lambda s: s.start_ns,
+        )
+        assert t.children_of(span) == expected
+
+
+def test_index_is_reused_across_queries():
+    t = _random_trace()
+    t.sorted_spans()
+    idx = t.index
+    t.at_level(Level.LAYER)
+    t.by_id()
+    assert t.index is idx  # no rebuild between read-only queries
+
+
+def test_add_invalidates_index():
+    t = _random_trace()
+    assert len(t.at_level(Level.MODEL)) == sum(
+        1 for s in t.spans if s.level == Level.MODEL
+    )
+    before = len(t.at_level(Level.MODEL))
+    t.add(Span("late", 0, 1, Level.MODEL, span_id=999))
+    assert len(t.at_level(Level.MODEL)) == before + 1
+    assert t.by_id()[999].name == "late"
+
+
+def test_direct_span_list_append_is_caught_by_length_check():
+    t = _random_trace()
+    t.sorted_spans()  # build the index
+    t.spans.append(Span("sneaky", 0, 5, Level.MODEL, span_id=1000))
+    assert 1000 in t.by_id()
+
+
+def test_returned_containers_are_copies():
+    t = _random_trace()
+    layer = t.at_level(Level.LAYER)
+    n = len(layer)
+    layer.clear()  # caller-side mutation must not corrupt the index
+    assert len(t.at_level(Level.LAYER)) == n
+    ordered = t.sorted_spans()
+    ordered.reverse()
+    assert t.sorted_spans() == sorted(
+        t.spans, key=lambda s: (s.start_ns, -s.duration_ns)
+    )
+
+
+def test_touch_parents_refreshes_children_and_roots():
+    t = Trace(trace_id=1)
+    t.add(Span("root", 0, 100, Level.MODEL, span_id=1))
+    t.add(Span("child", 10, 20, Level.LAYER, span_id=2))
+    assert [s.span_id for s in t.roots()] == [1, 2]
+    t.by_id()[2].parent_id = 1
+    t.touch_parents()
+    assert [s.span_id for s in t.roots()] == [1]
+    assert [s.span_id for s in t.children_of(t.by_id()[1])] == [2]
+
+
+def test_reconstruction_updates_parent_indexes_automatically():
+    t = Trace(trace_id=1)
+    t.add(Span("predict", 0, 1000, Level.MODEL, span_id=1))
+    t.add(Span("conv", 100, 500, Level.LAYER, span_id=2))
+    # Query first so the index (including children/roots) is built...
+    assert len(t.roots()) == 2
+    # ...then reconstruct: the correlation pass must invalidate it.
+    reconstruct_parents(t)
+    assert [s.span_id for s in t.roots()] == [1]
+    assert [s.span_id for s in t.children_of(t.by_id()[1])] == [2]
+
+
+def test_empty_trace_queries():
+    t = Trace(trace_id=1)
+    assert t.sorted_spans() == []
+    assert t.at_level(Level.LAYER) == []
+    assert t.by_id() == {}
+    assert t.roots() == []
+    assert t.levels_present() == []
+    assert t.span_extent_ns() == (0, 0)
