@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Compare two pytest-benchmark JSON snapshots and gate on regressions.
+
+    python benchmarks/compare_bench.py BASELINE.json CURRENT.json \
+        [--max-regression 0.20] [--pattern REGEX ...]
+
+Benchmarks present in both snapshots and matching any ``--pattern`` are
+compared by mean time; if any is more than ``--max-regression`` slower
+than the baseline, the script lists the offenders and exits 1.  The
+default patterns guard the PR 1 hot paths — the sweep-line/correlation
+engines — whose speedups later PRs must not quietly give back.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+
+#: Benchmarks gated by default: the sweep-line vs interval-tree
+#: correlation ablation plus anything else exercising correlation.
+DEFAULT_PATTERNS = (r"sweep", r"correlation", r"reconstruction")
+
+
+def load_means(path: str) -> dict[str, float]:
+    with open(path) as fh:
+        doc = json.load(fh)
+    return {
+        bench["fullname"]: bench["stats"]["mean"]
+        for bench in doc.get("benchmarks", [])
+    }
+
+
+def compare(
+    baseline: dict[str, float],
+    current: dict[str, float],
+    patterns: list[str],
+    max_regression: float,
+) -> tuple[list[str], list[str]]:
+    """Returns (report lines, regression lines)."""
+    regexes = [re.compile(p, re.IGNORECASE) for p in patterns]
+    shared = sorted(
+        name
+        for name in baseline.keys() & current.keys()
+        if any(r.search(name) for r in regexes)
+    )
+    lines: list[str] = []
+    regressions: list[str] = []
+    # A gated bench that vanished from the current snapshot (renamed or
+    # deleted) would silently shrink coverage — fail the gate so the
+    # rename is acknowledged by re-recording the baseline.
+    for name in sorted(baseline.keys() - current.keys()):
+        if any(r.search(name) for r in regexes):
+            line = (
+                f"{name}: GATED BENCH MISSING from current snapshot "
+                "(renamed/removed?)"
+            )
+            lines.append(line)
+            regressions.append(line)
+    for name in shared:
+        old, new = baseline[name], current[name]
+        ratio = new / old if old > 0 else float("inf")
+        verdict = "ok"
+        if ratio > 1.0 + max_regression:
+            verdict = "REGRESSION"
+        elif ratio < 1.0:
+            verdict = "faster"
+        line = (
+            f"{name}: {old * 1e3:.3f} ms -> {new * 1e3:.3f} ms "
+            f"({ratio:.2f}x) {verdict}"
+        )
+        lines.append(line)
+        if verdict == "REGRESSION":
+            regressions.append(line)
+    if not shared and not regressions:
+        # Nothing to gate at all: neither snapshot knows the guarded
+        # benches.  Failing here keeps the gate honest — a pattern typo
+        # or wholesale rename cannot turn it into a no-op.
+        line = f"no benchmarks matched {patterns!r} — gate has no coverage"
+        lines.append(line)
+        regressions.append(line)
+    return lines, regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="older BENCH_*.json snapshot")
+    parser.add_argument("current", help="newer BENCH_*.json snapshot")
+    parser.add_argument("--max-regression", type=float, default=0.20,
+                        help="allowed fractional slowdown (default 0.20)")
+    parser.add_argument("--pattern", action="append", default=None,
+                        metavar="REGEX",
+                        help="benchmark name filter (repeatable; default: "
+                        + ", ".join(DEFAULT_PATTERNS) + ")")
+    args = parser.parse_args(argv)
+
+    patterns = args.pattern or list(DEFAULT_PATTERNS)
+    lines, regressions = compare(
+        load_means(args.baseline),
+        load_means(args.current),
+        patterns,
+        args.max_regression,
+    )
+    print(f"comparing {args.baseline} -> {args.current} "
+          f"(gate: >{args.max_regression:.0%} slower)")
+    for line in lines:
+        print(f"  {line}")
+    if regressions:
+        print(f"FAILED: {len(regressions)} gate violation(s) "
+              f"(regression beyond {args.max_regression:.0%}, or gated "
+              "benches missing)", file=sys.stderr)
+        return 1
+    print("benchmark gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

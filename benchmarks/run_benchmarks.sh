@@ -2,24 +2,62 @@
 # Run the full benchmark suite and record the results as pytest-benchmark
 # JSON, so the repo's perf trajectory is tracked PR over PR:
 #
-#     benchmarks/run_benchmarks.sh                # writes BENCH_pr1.json
-#     benchmarks/run_benchmarks.sh BENCH_pr2.json # next PR's snapshot
+#     benchmarks/run_benchmarks.sh                # writes BENCH_local.json
+#     benchmarks/run_benchmarks.sh BENCH_pr3.json # a PR's committed snapshot
 #
-# Extra arguments after the output name are passed through to pytest, e.g.
+# BENCH_pr*.json are committed per-PR baselines — the default output is
+# deliberately a scratch name so a bare run never clobbers them.
+#
+# --compare gates the run against a previous snapshot: after recording,
+# the sweep/correlation benches are diffed and any mean-time regression
+# beyond 20% fails the script (see benchmarks/compare_bench.py):
+#
+#     benchmarks/run_benchmarks.sh BENCH_pr2.json --compare BENCH_pr1.json
+#
+# Extra arguments are passed through to pytest, e.g.
 #
 #     benchmarks/run_benchmarks.sh BENCH_quick.json -k ablation
 #
-# Compare two snapshots with: pytest-benchmark compare BENCH_pr1.json ...
+# Compare two snapshots ad hoc with: pytest-benchmark compare BENCH_*.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_pr1.json}"
-shift || true
+OUT="BENCH_local.json"
+BASELINE=""
+PYTEST_ARGS=()
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --compare)
+            [[ $# -ge 2 ]] || { echo "--compare needs a snapshot path" >&2; exit 2; }
+            BASELINE="$2"
+            shift 2
+            ;;
+        *)
+            if [[ ${#PYTEST_ARGS[@]} -eq 0 && "$1" != -* ]]; then
+                OUT="$1"
+            else
+                PYTEST_ARGS+=("$1")
+            fi
+            shift
+            ;;
+    esac
+done
+
+if [[ -n "$BASELINE" ]] && \
+   [[ "$(realpath -m "$BASELINE")" == "$(realpath -m "$OUT")" ]]; then
+    echo "error: --compare baseline '$BASELINE' is also the output snapshot;" \
+         "pass a different output name (e.g. BENCH_pr3.json)" >&2
+    exit 2
+fi
 
 # Benchmark modules are named bench_*.py so the tier-1 test run
 # (`pytest -x -q`) never collects them; widen the pattern here only.
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest benchmarks/ \
     -o python_files="test_*.py bench_*.py" \
-    --benchmark-json="$OUT" "$@"
+    --benchmark-json="$OUT" ${PYTEST_ARGS+"${PYTEST_ARGS[@]}"}
 
 echo "wrote benchmark results to $OUT"
+
+if [[ -n "$BASELINE" ]]; then
+    python benchmarks/compare_bench.py "$BASELINE" "$OUT"
+fi

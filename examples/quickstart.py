@@ -12,6 +12,10 @@ Set ``XSP_PROFILE_CACHE=/some/dir`` to persist merged profiles on disk:
 a repeat invocation is then served entirely from the warm cache and skips
 the leveled-experiment ladder.  Set ``XSP_PARALLEL_SWEEP=1`` to fan the
 batch sweep out over worker processes.
+
+Next step: ``python -m repro advise --model 7 --batch 256`` (or
+``examples/advise.py``) turns this profile into ranked, evidence-backed
+bottleneck insights via the rule engine in :mod:`repro.insights`.
 """
 
 import os

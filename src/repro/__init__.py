@@ -21,6 +21,8 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.models`     — the 65-model zoo of Tables VIII and X
 * :mod:`repro.core`       — XSP sessions, leveled experimentation, pipeline
 * :mod:`repro.analysis`   — the 15 automated analyses of Table I
+* :mod:`repro.insights`   — rule-based across-stack bottleneck detection
+* :mod:`repro.campaign`   — Sec. IV-scale measurement grids
 * :mod:`repro.workloads`  — batch sweeps and quick measurements
 """
 

@@ -9,15 +9,19 @@ paper's Tables VIII-X workflow.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.analysis.compare import comparison_table
 from repro.analysis.tables import Table
-from repro.core import AnalysisPipeline, XSPSession
+from repro.core import AnalysisPipeline, ProfileStore, XSPSession
 from repro.core.pipeline import ModelProfile
 from repro.models import get_model
 from repro.sim.memory import OutOfDeviceMemoryError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.insights.campaign import CampaignInsights
 
 
 @dataclass(frozen=True)
@@ -51,12 +55,43 @@ class CampaignResult:
     def __len__(self) -> int:
         return len(self.profiles)
 
+    def insights(self, *, severity_cutoff: float = 0.30) -> "CampaignInsights":
+        """Roll the insight rules up across every profiled point.
+
+        Systemic findings ("hotspot kernel X dominates in 12/20 configs")
+        come from :func:`repro.insights.campaign.aggregate_insights`.
+        """
+        from repro.insights.campaign import aggregate_insights
+
+        return aggregate_insights(
+            self.profiles,
+            severity_cutoff=severity_cutoff,
+            out_of_memory=self.out_of_memory,
+        )
+
 
 class Campaign:
-    """Runs a grid of profiling points with per-(system, framework) reuse."""
+    """Runs a grid of profiling points with per-(system, framework) reuse.
 
-    def __init__(self, *, runs_per_level: int = 1) -> None:
+    ``store`` (a :class:`~repro.core.cache.ProfileStore` or a directory
+    path) gives the grid cross-*process* reuse as well: every pipeline
+    the campaign builds consults the on-disk store before re-running the
+    leveled experiment ladder, so a warm re-run of the same grid does no
+    profiling work at all.
+    """
+
+    def __init__(
+        self,
+        *,
+        runs_per_level: int = 1,
+        store: "ProfileStore | str | os.PathLike[str] | None" = None,
+    ) -> None:
         self.runs_per_level = runs_per_level
+        self.store = (
+            ProfileStore(store)
+            if isinstance(store, (str, os.PathLike))
+            else store
+        )
         self._pipelines: dict[tuple[str, str], AnalysisPipeline] = {}
         self.points: list[CampaignPoint] = []
 
@@ -89,6 +124,7 @@ class Campaign:
             self._pipelines[key] = AnalysisPipeline(
                 XSPSession(system, framework),
                 runs_per_level=self.runs_per_level,
+                store=self.store,
             )
         return self._pipelines[key]
 

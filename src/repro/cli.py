@@ -4,7 +4,8 @@
     python -m repro profile --model 7 --batch 256 [--system S] [--framework F]
     python -m repro sweep --model 7 --batches 1,8,64,256
     python -m repro experiments [--only fig10,table06] [--output EXPERIMENTS.md]
-    python -m repro trace --model 7 --batch 16 --output trace.json [--chrome]
+    python -m repro trace --model 7 --batch 16 --output trace.json [--chrome [out.json]]
+    python -m repro advise --model 7 --batch 256 [--json]
 
 Everything runs on the simulated substrate in deterministic virtual time.
 """
@@ -12,6 +13,7 @@ Everything runs on the simulated substrate in deterministic virtual time.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -77,11 +79,33 @@ def build_parser() -> argparse.ArgumentParser:
     trace_p = sub.add_parser("trace", help="capture and save a raw trace")
     _add_target_args(trace_p)
     trace_p.add_argument("--batch", type=int, default=1)
-    trace_p.add_argument("--output", required=True)
-    trace_p.add_argument("--chrome", action="store_true",
-                         help="write chrome://tracing JSON instead")
+    trace_p.add_argument("--output", default=None,
+                         help="write the lossless JSON trace here")
+    trace_p.add_argument("--chrome", nargs="?", const="", default=None,
+                         metavar="OUT",
+                         help="write Chrome trace_event JSON (openable in "
+                         "Perfetto / chrome://tracing) to OUT; without OUT, "
+                         "--output receives the Chrome format instead")
     trace_p.add_argument("--library-level", action="store_true",
                          help="include cuDNN API-call spans (Sec. III-E)")
+
+    adv_p = sub.add_parser("advise",
+                           help="rule-based across-stack bottleneck insights")
+    _add_target_args(adv_p)
+    adv_p.add_argument("--batch", type=int, default=1)
+    adv_p.add_argument("--runs", type=int, default=1,
+                       help="repetitions per profiling level")
+    adv_p.add_argument("--sweep", default="auto", metavar="BATCHES",
+                       help="comma-separated batch sizes for the "
+                       "batch-scaling rules; 'auto' doubles from 1 past "
+                       "--batch; 'none' skips the sweep")
+    adv_p.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit the machine-checkable JSON report")
+    adv_p.add_argument("--min-severity", type=float, default=0.0,
+                       help="hide insights scoring below this (0-1)")
+    adv_p.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="serve/persist the merged profile via this "
+                       "on-disk store")
     return parser
 
 
@@ -98,17 +122,29 @@ def cmd_list_models(args: argparse.Namespace) -> int:
     return 0
 
 
+class _StoreError(Exception):
+    """An unusable --cache-dir (already reported to stderr)."""
+
+
+def _open_store(cache_dir: str | None) -> ProfileStore | None:
+    """Open the --cache-dir store; None when no caching was requested."""
+    if not cache_dir:
+        return None
+    try:
+        return ProfileStore(cache_dir)
+    except OSError as err:
+        print(f"error: --cache-dir {cache_dir!r} unusable: {err}",
+              file=sys.stderr)
+        raise _StoreError from err
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     entry = get_model(args.model)
     session = XSPSession(args.system, args.framework)
-    store = None
-    if args.cache_dir:
-        try:
-            store = ProfileStore(args.cache_dir)
-        except OSError as err:
-            print(f"error: --cache-dir {args.cache_dir!r} unusable: {err}",
-                  file=sys.stderr)
-            return 2
+    try:
+        store = _open_store(args.cache_dir)
+    except _StoreError:
+        return 2
     pipeline = AnalysisPipeline(session, runs_per_level=args.runs, store=store)
     profile = pipeline.profile_model(entry.graph, args.batch)
     print(full_report(profile))
@@ -151,18 +187,62 @@ def cmd_experiments(args: argparse.Namespace) -> int:
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.tracing.export import trace_to_chrome
+
+    chrome_path = args.output if args.chrome == "" else args.chrome
+    if args.output is None and not chrome_path:
+        print("error: trace needs --output and/or --chrome OUT",
+              file=sys.stderr)
+        return 2
     entry = get_model(args.model)
     session = XSPSession(args.system, args.framework)
     config = ProfilingConfig(levels=MLLibG) if args.library_level \
         else ProfilingConfig()
     run = session.profile(entry.graph, args.batch, config)
-    if args.chrome:
-        with open(args.output, "w") as fh:
-            fh.write(run.trace.to_chrome_trace())
-    else:
+    written = []
+    if args.output and args.output != chrome_path:
         save_trace(run.trace, args.output)
+        written.append(args.output)
+    if chrome_path:
+        with open(chrome_path, "w") as fh:
+            fh.write(trace_to_chrome(run.trace))
+        written.append(chrome_path)
     print(f"captured {len(run.trace)} spans "
-          f"({len(run.kernels)} kernels) -> {args.output}")
+          f"({len(run.kernels)} kernels) -> {', '.join(written)}")
+    return 0
+
+
+def _sweep_batches(spec: str, batch: int) -> list[int]:
+    """Parse advise's --sweep: explicit list, 'auto' doubling, or 'none'."""
+    if spec == "none":
+        return []
+    if spec == "auto":
+        batches, b = [], 1
+        while b <= max(2 * batch, 8):
+            batches.append(b)
+            b *= 2
+        return batches
+    return [int(b) for b in spec.split(",")]
+
+
+def cmd_advise(args: argparse.Namespace) -> int:
+    entry = get_model(args.model)
+    session = XSPSession(args.system, args.framework)
+    try:
+        store = _open_store(args.cache_dir)
+    except _StoreError:
+        return 2
+    pipeline = AnalysisPipeline(session, runs_per_level=args.runs, store=store)
+    report = pipeline.advise(
+        entry.graph, args.batch,
+        sweep_batches=_sweep_batches(args.sweep, args.batch),
+    )
+    if args.as_json:
+        print(json.dumps(
+            report.to_dict(min_severity=args.min_severity), indent=2
+        ))
+    else:
+        print(report.render(min_severity=args.min_severity))
     return 0
 
 
@@ -172,6 +252,7 @@ _COMMANDS = {
     "sweep": cmd_sweep,
     "experiments": cmd_experiments,
     "trace": cmd_trace,
+    "advise": cmd_advise,
 }
 
 

@@ -16,13 +16,14 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
 from repro.core.leveled import LeveledExperiment, LeveledResult
-from repro.core.session import ProfiledRun, XSPSession
+from repro.core.session import ProfiledRun, ProfilingConfig, XSPSession
 from repro.core.stats import Statistic, trimmed_mean
 from repro.frameworks.graph import Graph
 from repro.sim.hardware import GPUSpec, get_system
 
 if TYPE_CHECKING:  # pragma: no cover - cache imports pipeline, not vice versa
     from repro.core.cache import ProfileStore
+    from repro.insights.engine import InsightReport
 
 
 @dataclass(frozen=True)
@@ -320,6 +321,47 @@ class AnalysisPipeline:
                         statistic=_statistic_name(self.statistic),
                     )
         return {b: cached[b] or computed[b] for b in batches}
+
+    # -- insights ---------------------------------------------------------------
+    def advise(
+        self,
+        graph: Graph,
+        batch: int,
+        *,
+        sweep_batches: Sequence[int] | None = None,
+        rules=None,
+    ) -> "InsightReport":
+        """Profile ``graph`` and run the insight engine over the result.
+
+        The merged profile comes through the normal (cache-aware)
+        :meth:`profile_model` path; one extra M/L/G evaluation supplies
+        the raw trace (for timeline rules like idle-bubble detection) and
+        the device-memory high-water mark; ``sweep_batches`` adds a cheap
+        model-level-only latency sweep so the batch-scaling rules can
+        place ``batch`` against the throughput knee.
+        """
+        # Imported lazily: insights consumes this module's ModelProfile.
+        from repro.insights import advise
+        from repro.workloads import measure_latency
+
+        profile = self.profile_model(graph, batch)
+        # Metric collection replays kernels (Sec. III-C), stretching the
+        # device timeline; the advisory trace is captured metric-free so
+        # idle-gap analysis sees the real execution schedule.
+        run = self.session.profile(graph, batch, ProfilingConfig(metrics=()))
+        sweep: dict[int, float] = {}
+        for b in sorted(set(sweep_batches or ())):
+            try:
+                sweep[b] = measure_latency(self.session, graph, b, runs=1)
+            except MemoryError:
+                break  # larger batches cannot fit either
+        return advise(
+            profile,
+            trace=run.trace,
+            sweep=sweep,
+            peak_device_memory_bytes=run.prediction.peak_device_memory_bytes,
+            rules=rules,
+        )
 
     def _cached(self, graph: Graph, batch: int) -> ModelProfile | None:
         if self.store is None:

@@ -1,0 +1,206 @@
+"""Campaign-wide insight aggregation: systemic patterns across a grid.
+
+A single configuration's insights say "this kernel dominates here"; a
+campaign's say "this kernel dominates in 12/20 configurations" — the
+across-*configuration* analogue of the paper's across-stack claim.  This
+module rolls per-point :class:`~repro.insights.engine.InsightReport`\\ s
+up into :class:`SystemicInsight` records ranked by how widespread and how
+severe a finding is.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.core.pipeline import ModelProfile
+from repro.insights.engine import InsightContext, InsightEngine
+from repro.insights.registry import Rule
+
+
+def _label_of(key: Any) -> str:
+    """Point label: CampaignPoint-like objects expose ``.label``."""
+    return getattr(key, "label", None) or str(key)
+
+
+@dataclass(frozen=True)
+class SystemicInsight:
+    """One finding aggregated across campaign points."""
+
+    rule: str
+    title: str
+    count: int  #: points where the rule fired at/above the cutoff
+    total: int  #: points analyzed
+    mean_severity: float
+    max_severity: float
+    configs: tuple[str, ...]  #: labels of the affected points
+    #: Most common evidence artifacts (kernel names, layer types, ...).
+    details: tuple[str, ...] = ()
+
+    @property
+    def prevalence(self) -> float:
+        return self.count / self.total if self.total else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "title": self.title,
+            "count": self.count,
+            "total": self.total,
+            "prevalence": self.prevalence,
+            "mean_severity": self.mean_severity,
+            "max_severity": self.max_severity,
+            "configs": list(self.configs),
+            "details": list(self.details),
+        }
+
+    def render(self) -> str:
+        return (
+            f"[{self.count}/{self.total} configs, max sev "
+            f"{self.max_severity:.2f}] {self.title}"
+        )
+
+
+@dataclass
+class CampaignInsights:
+    """Per-point reports plus the cross-point systemic rollup."""
+
+    reports: dict[str, Any] = field(default_factory=dict)  #: label -> report
+    systemic: list[SystemicInsight] = field(default_factory=list)
+    out_of_memory: tuple[str, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.systemic)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "points": {
+                label: report.to_dict()
+                for label, report in self.reports.items()
+            },
+            "systemic": [s.to_dict() for s in self.systemic],
+            "out_of_memory": list(self.out_of_memory),
+            "rules_skipped_everywhere": self.rules_skipped_everywhere,
+        }
+
+    @property
+    def rules_skipped_everywhere(self) -> list[str]:
+        """Rules no point could satisfy (e.g. trace rules without traces)."""
+        skipped_sets = [
+            set(report.skipped_rules) for report in self.reports.values()
+        ]
+        if not skipped_sets:
+            return []
+        return sorted(set.intersection(*skipped_sets))
+
+    def render(self) -> str:
+        title = (
+            f"Campaign insights: {len(self.reports)} configurations analyzed"
+        )
+        lines = [title, "=" * len(title)]
+        for finding in self.systemic:
+            lines.append(finding.render())
+        if self.out_of_memory:
+            lines.append(
+                f"[{len(self.out_of_memory)} configs] exceeded device "
+                f"memory: {', '.join(self.out_of_memory)}"
+            )
+        skipped = self.rules_skipped_everywhere
+        if skipped:
+            lines.append(
+                f"rules skipped at every point (missing ingredient): "
+                f"{', '.join(skipped)}"
+            )
+        return "\n".join(lines)
+
+
+def aggregate_insights(
+    profiles: Mapping[Any, ModelProfile],
+    *,
+    rules: Iterable[Rule] | None = None,
+    severity_cutoff: float = 0.30,
+    out_of_memory: Iterable[Any] = (),
+) -> CampaignInsights:
+    """Run the engine over every profile and roll the findings up.
+
+    ``profiles`` is keyed by campaign point (anything with a ``.label``)
+    or plain label strings — exactly the shape of
+    ``CampaignResult.profiles``.  A rule contributes to a systemic finding
+    for every point where it fired at/above ``severity_cutoff``.
+
+    The grid itself supplies the sweep ingredient: points sharing a
+    (model, system, framework) coordinate form a batch -> latency curve,
+    so the batch-scaling rules run wherever the grid covers >= 2 batches.
+    """
+    engine = InsightEngine(rules)
+    result = CampaignInsights(
+        out_of_memory=tuple(_label_of(k) for k in out_of_memory)
+    )
+    sweeps: dict[tuple[str, str, str], dict[int, float]] = defaultdict(dict)
+    for profile in profiles.values():
+        sweeps[(profile.model_name, profile.system, profile.framework)][
+            profile.batch
+        ] = profile.model_latency_ms
+    fired: dict[str, list[tuple[str, float]]] = defaultdict(list)
+    artifacts: dict[str, Counter] = defaultdict(Counter)
+    for key, profile in profiles.items():
+        label = _label_of(key)
+        report = engine.analyze(
+            InsightContext.build(
+                profile,
+                sweep=sweeps[
+                    (profile.model_name, profile.system, profile.framework)
+                ],
+            )
+        )
+        result.reports[label] = report
+        for insight in report.insights:
+            if insight.severity < severity_cutoff:
+                continue
+            fired[insight.rule].append((label, insight.severity))
+            # Each insight's evidence is ranked: its first kernel name is
+            # the primary artifact.  Counting only that (once per point)
+            # makes "implicated in N/M configs" count configurations.
+            primary = next(
+                (
+                    name
+                    for ev in insight.evidence
+                    for name in ev.kernel_names
+                ),
+                None,
+            )
+            if primary is not None:
+                artifacts[insight.rule][primary] += 1
+
+    total = len(result.reports)
+    for rule_name, hits in fired.items():
+        severities = [sev for _, sev in hits]
+        top_artifacts = artifacts[rule_name].most_common(3)
+        details = tuple(name for name, _ in top_artifacts)
+        if top_artifacts:
+            dominant, dom_count = top_artifacts[0]
+            title = (
+                f"{rule_name}: {dominant} implicated in {dom_count}/{total} "
+                "configs"
+            )
+        else:
+            title = (
+                f"{rule_name} fires in {len(hits)}/{total} configs "
+                f"(severity >= {severity_cutoff:.2f})"
+            )
+        result.systemic.append(
+            SystemicInsight(
+                rule=rule_name,
+                title=title,
+                count=len(hits),
+                total=total,
+                mean_severity=sum(severities) / len(severities),
+                max_severity=max(severities),
+                configs=tuple(label for label, _ in hits),
+                details=details,
+            )
+        )
+    # Widespread-and-severe first.
+    result.systemic.sort(key=lambda s: (-s.prevalence, -s.max_severity))
+    return result

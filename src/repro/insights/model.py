@@ -1,0 +1,117 @@
+"""Insight data model: evidence-backed, severity-ranked findings.
+
+XSP's across-stack correlation exists to surface optimization insights
+"not possible at any single stack level" (paper Sec. I).  An
+:class:`Insight` is one such finding in machine-checkable form: which
+rule produced it, how severe it is, what to do about it, and — crucially
+— :class:`Evidence` that resolves back to the source data (span ids into
+the trace, layer indices into the profile, kernel names into the kernel
+tables), so every claim can be verified against the capture it came from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+#: Severity bands: scores are floats in [0, 1]; labels are coarse bands
+#: used for display and filtering (see ROADMAP "Insights architecture").
+SEVERITY_BANDS = (
+    (0.65, "critical"),
+    (0.30, "warning"),
+    (0.0, "info"),
+)
+
+
+def severity_label(score: float) -> str:
+    """Band name for a severity score ("info" / "warning" / "critical")."""
+    for floor, label in SEVERITY_BANDS:
+        if score >= floor:
+            return label
+    return "info"
+
+
+def ramp(measured: float, lo: float, hi: float) -> float:
+    """Linear severity ramp: 0 at/below ``lo``, 1 at/above ``hi``.
+
+    The standard way rules turn a measured value against its threshold
+    into a score — a measurement at the threshold is barely notable, one
+    at the saturation point is as bad as the rule can express.
+    """
+    if hi <= lo:
+        raise ValueError(f"ramp needs lo < hi, got [{lo}, {hi}]")
+    return min(1.0, max(0.0, (measured - lo) / (hi - lo)))
+
+
+@dataclass(frozen=True)
+class Evidence:
+    """One verifiable piece of support for an insight.
+
+    All references are into the insight's source data: ``span_ids``
+    resolve via ``trace.by_id()``, ``layer_indices`` via
+    ``profile.layers[*].index``, ``kernel_names`` via the profile's
+    kernel list.  ``measured`` holds the observed values the rule acted
+    on; ``threshold`` the limits it compared them against.
+    """
+
+    kind: str  #: e.g. "gpu_gap", "kernel", "layer", "sweep", "memory"
+    summary: str
+    span_ids: tuple[int, ...] = ()
+    layer_indices: tuple[int, ...] = ()
+    kernel_names: tuple[str, ...] = ()
+    measured: Mapping[str, float] = field(default_factory=dict)
+    threshold: Mapping[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "summary": self.summary,
+            "span_ids": list(self.span_ids),
+            "layer_indices": list(self.layer_indices),
+            "kernel_names": list(self.kernel_names),
+            "measured": dict(self.measured),
+            "threshold": dict(self.threshold),
+        }
+
+
+@dataclass(frozen=True)
+class Insight:
+    """One ranked, evidence-backed finding from a rule."""
+
+    rule: str
+    title: str
+    severity: float  #: in [0, 1]; see :func:`severity_label` for bands
+    recommendation: str
+    evidence: tuple[Evidence, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.severity <= 1.0:
+            raise ValueError(
+                f"severity must be in [0, 1], got {self.severity} "
+                f"(rule {self.rule!r})"
+            )
+
+    @property
+    def severity_band(self) -> str:
+        return severity_label(self.severity)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "title": self.title,
+            "severity": self.severity,
+            "severity_band": self.severity_band,
+            "recommendation": self.recommendation,
+            "evidence": [e.to_dict() for e in self.evidence],
+        }
+
+    def render(self) -> str:
+        """Multi-line text form used by the CLI and reports."""
+        lines = [
+            f"[{self.severity_band.upper():>8} {self.severity:.2f}] "
+            f"{self.title}  ({self.rule})",
+            f"    -> {self.recommendation}",
+        ]
+        for ev in self.evidence:
+            lines.append(f"    * {ev.summary}")
+        return "\n".join(lines)

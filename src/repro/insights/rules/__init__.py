@@ -1,0 +1,36 @@
+"""Built-in insight rules, registered on import.
+
+Nine rules spanning the stack levels the paper correlates:
+
+===========================  =========================  =================
+rule                         stack level(s)             needs
+===========================  =========================  =================
+gpu-idle-bubbles             GPU timeline               profile + trace
+kernel-hotspot               GPU kernels (A10)          profile
+library-kernel-mix           GPU kernels / libraries    profile
+low-occupancy-kernels        GPU kernels (A8)           profile
+memory-bound-layers          layers x roofline (A14)    profile
+layer-fusion-candidates      layers                     profile
+host-gpu-imbalance           model vs GPU (A13)         profile
+batch-scaling-knee           model (A1)                 profile + sweep
+memory-pressure              device memory (A4)         profile
+===========================  =========================  =================
+
+Importing this package (which :mod:`repro.insights` does) registers all
+of them; see :mod:`repro.insights.registry` for adding your own.
+"""
+
+from repro.insights.rules import gpu, layers, scaling  # noqa: F401  (registration)
+
+#: Names of the rules shipped with the engine.
+BUILTIN_RULES = (
+    "batch-scaling-knee",
+    "gpu-idle-bubbles",
+    "host-gpu-imbalance",
+    "kernel-hotspot",
+    "layer-fusion-candidates",
+    "library-kernel-mix",
+    "low-occupancy-kernels",
+    "memory-bound-layers",
+    "memory-pressure",
+)

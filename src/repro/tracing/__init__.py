@@ -16,6 +16,7 @@ from repro.tracing.span import (
     new_span_id,
     new_trace_id,
 )
+from repro.tracing.index import Gap, TraceIndex
 from repro.tracing.tracer import BufferingTracer, NoopTracer, Tracer
 from repro.tracing.server import TracingServer
 from repro.tracing.trace import Trace
@@ -31,6 +32,7 @@ __all__ = [
     "AmbiguousParentError",
     "BufferingTracer",
     "CorrelationResult",
+    "Gap",
     "Interval",
     "IntervalTree",
     "Level",
@@ -39,6 +41,7 @@ __all__ = [
     "Span",
     "SpanKind",
     "Trace",
+    "TraceIndex",
     "Tracer",
     "TracingServer",
     "correlate_launch_execution",

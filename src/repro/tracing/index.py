@@ -24,6 +24,7 @@ after querying a trace must do the same.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from operator import attrgetter
 from typing import Dict, List, Optional, Tuple
 
@@ -31,6 +32,57 @@ from repro.tracing.span import Level, Span, SpanKind
 
 _START = attrgetter("start_ns")
 _END = attrgetter("end_ns")
+
+
+@dataclass(frozen=True)
+class Gap:
+    """An idle interval between two spans on one level's timeline.
+
+    ``before_id``/``after_id`` are the span ids bounding the gap: the span
+    whose end opens the gap and the span whose start closes it.  Both
+    always resolve against the trace the gap was computed from.
+    """
+
+    start_ns: int
+    end_ns: int
+    before_id: int
+    after_id: int
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+    @property
+    def duration_ms(self) -> float:
+        return self.duration_ns / 1e6
+
+
+def _compute_gaps(spans: List[Span]) -> List[Gap]:
+    """Idle intervals of a timeline-sorted span list, one merged pass.
+
+    Overlapping spans are coalesced on the fly (track the running max end
+    and the span that achieves it), so a "gap" is an interval covered by
+    *no* span at all — exactly the device-idle bubbles of a GPU timeline.
+    """
+    gaps: List[Gap] = []
+    if not spans:
+        return gaps
+    frontier = spans[0]
+    frontier_end = frontier.end_ns
+    for span in spans[1:]:
+        if span.start_ns > frontier_end:
+            gaps.append(
+                Gap(
+                    start_ns=frontier_end,
+                    end_ns=span.start_ns,
+                    before_id=frontier.span_id,
+                    after_id=span.span_id,
+                )
+            )
+        if span.end_ns > frontier_end:
+            frontier = span
+            frontier_end = span.end_ns
+    return gaps
 
 
 def _timeline_sorted(spans: List[Span]) -> List[Span]:
@@ -67,6 +119,7 @@ class TraceIndex:
         "_levels",
         "_children",
         "_roots",
+        "_gaps",
     )
 
     def __init__(self, spans: List[Span]) -> None:
@@ -81,6 +134,7 @@ class TraceIndex:
         self._levels: Optional[List[Level]] = None
         self._children: Optional[Dict[Optional[int], List[Span]]] = None
         self._roots: Optional[List[Span]] = None
+        self._gaps: Dict[Tuple[Level, Optional[SpanKind]], List[Gap]] = {}
 
     # -- cache validity ---------------------------------------------------
     def fresh_for(self, spans: List[Span]) -> bool:
@@ -150,6 +204,23 @@ class TraceIndex:
                 hi = max(s.end_ns for s in self._spans)
                 self._extent = (lo, hi)
         return self._extent
+
+    def gaps(self, level: Level, kind: Optional[SpanKind] = None) -> List[Gap]:
+        """Idle intervals between ``level``'s spans (optionally one kind).
+
+        Built once per (level, kind) from the already-cached timeline
+        ordering; every later query is a dictionary lookup, so insight
+        rules iterating a trace's bubbles add no O(n) rescans.
+        """
+        key = (level, kind)
+        cached = self._gaps.get(key)
+        if cached is None:
+            spans = self.level_sorted(level)
+            if kind is not None:
+                spans = [s for s in spans if s.kind == kind]
+            cached = _compute_gaps(spans)
+            self._gaps[key] = cached
+        return cached
 
     # -- parent-derived indexes (see the invalidation model above) --------
     def children_index(self) -> Dict[Optional[int], List[Span]]:

@@ -13,12 +13,11 @@ querying must call :meth:`Trace.touch_parents`.
 
 from __future__ import annotations
 
-import json
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator
 
-from repro.tracing.index import TraceIndex
+from repro.tracing.index import Gap, TraceIndex
 from repro.tracing.span import Level, Span, SpanKind
 
 
@@ -108,30 +107,25 @@ class Trace:
         """(min start, max end) across all spans; (0, 0) when empty."""
         return self.index.extent_ns()
 
+    def gaps(self, level: Level, kind: SpanKind | None = None) -> list[Gap]:
+        """Idle intervals between spans at ``level`` (optionally one kind).
+
+        Served by the gap index: computed once per (level, kind) per
+        trace snapshot, O(1) on every later query.  GPU-kernel execution
+        gaps are the device-idle "bubbles" the insight engine flags.
+        """
+        return list(self.index.gaps(level, kind))
+
     # -- export ---------------------------------------------------------------
     def to_chrome_trace(self) -> str:
-        """Serialize to the Chrome tracing JSON format (one complete event per span)."""
-        events = []
-        for s in self.spans:
-            events.append(
-                {
-                    "name": s.name,
-                    "cat": s.level.name,
-                    "ph": "X",
-                    "ts": s.start_ns / 1e3,  # chrome uses microseconds
-                    "dur": s.duration_ns / 1e3,
-                    "pid": self.trace_id,
-                    "tid": int(s.level),
-                    "args": {
-                        "span_id": s.span_id,
-                        "parent_id": s.parent_id,
-                        "kind": s.kind.value,
-                        "correlation_id": s.correlation_id,
-                        **{k: _jsonable(v) for k, v in s.tags.items()},
-                    },
-                }
-            )
-        return json.dumps({"traceEvents": events}, indent=None)
+        """Serialize to the Chrome ``trace_event`` JSON format.
+
+        Delegates to :func:`repro.tracing.export.trace_to_chrome`
+        (imported lazily; export depends on this module).
+        """
+        from repro.tracing.export import trace_to_chrome
+
+        return trace_to_chrome(self)
 
     def summary(self) -> dict[str, Any]:
         """Compact description used in test assertions and reports."""
@@ -145,11 +139,3 @@ class Trace:
             "per_level": dict(per_level),
             "extent_ms": (hi - lo) / 1e6,
         }
-
-
-def _jsonable(value: Any) -> Any:
-    try:
-        json.dumps(value)
-        return value
-    except (TypeError, ValueError):
-        return repr(value)

@@ -1,0 +1,11 @@
+"""Shared fixtures for the insight-engine tests (see factories.py)."""
+
+import pytest
+
+from factories import build_basic_profile
+
+
+@pytest.fixture
+def basic_profile():
+    """A mixed synthetic profile: conv hotspots plus an element-wise tail."""
+    return build_basic_profile()

@@ -1,0 +1,119 @@
+"""Campaign-wide aggregation: systemic patterns across a config grid."""
+
+import json
+
+from repro.insights import aggregate_insights
+from repro.insights.campaign import SystemicInsight
+
+from factories import make_kernel, make_layer, make_profile
+
+
+def _hotspot_profile(batch, kernel="volta_scudnn_128x64_relu"):
+    return make_profile([
+        make_layer(0, "Conv2D", kernels=[
+            make_kernel(kernel, 0, latency_ms=9.0),
+        ]),
+        make_layer(1, "Dense", kernels=[
+            make_kernel("volta_sgemm_64x32", 1, latency_ms=1.0),
+        ]),
+    ], batch=batch)
+
+
+def test_hotspot_dominates_across_configs():
+    profiles = {
+        f"resnet|bs{b}": _hotspot_profile(b) for b in (1, 2, 4, 8)
+    }
+    result = aggregate_insights(profiles)
+    assert len(result.reports) == 4
+    hotspot = [s for s in result.systemic if s.rule == "kernel-hotspot"]
+    assert len(hotspot) == 1
+    finding = hotspot[0]
+    assert finding.count == 4 and finding.total == 4
+    assert finding.prevalence == 1.0
+    assert "volta_scudnn_128x64_relu" in finding.title
+    assert "4/4 configs" in finding.title
+    assert finding.details[0] == "volta_scudnn_128x64_relu"
+    assert set(finding.configs) == set(profiles)
+
+
+def test_severity_cutoff_filters_rollup():
+    profiles = {"p": _hotspot_profile(1)}
+    none = aggregate_insights(profiles, severity_cutoff=1.01)
+    assert none.systemic == []
+    assert len(none.reports) == 1  # per-point reports still collected
+    all_fired = aggregate_insights(profiles, severity_cutoff=0.0)
+    assert {s.rule for s in all_fired.systemic} >= {
+        "kernel-hotspot", "memory-pressure",
+    }
+
+
+def test_ranking_prefers_widespread_then_severe():
+    # hotspot fires hot in every config; library-mix only in one.
+    profiles = {
+        "a": _hotspot_profile(1),
+        "b": _hotspot_profile(2),
+        "c": make_profile([
+            make_layer(0, "Relu", kernels=[
+                make_kernel("Eigen::TensorCwiseBinaryOp<scalar_max_op>", 0,
+                            latency_ms=5.0),
+            ]),
+        ]),
+    }
+    result = aggregate_insights(profiles, severity_cutoff=0.5)
+    prevalences = [s.prevalence for s in result.systemic]
+    assert prevalences == sorted(prevalences, reverse=True)
+
+
+def test_out_of_memory_points_surface():
+    result = aggregate_insights(
+        {"ok": _hotspot_profile(1)},
+        out_of_memory=["big_model|bs256", "big_model|bs512"],
+    )
+    assert result.out_of_memory == ("big_model|bs256", "big_model|bs512")
+    assert "exceeded device memory" in result.render()
+
+
+def test_serialization_round_trip():
+    result = aggregate_insights({"p": _hotspot_profile(4)})
+    data = result.to_dict()
+    json.dumps(data)
+    assert "p" in data["points"]
+    assert all("prevalence" in s for s in data["systemic"])
+    assert isinstance(result.systemic[0], SystemicInsight)
+    assert "configurations analyzed" in result.render()
+
+
+def test_grid_supplies_the_sweep_ingredient():
+    # Points sharing (model, system, framework) form a batch->latency
+    # curve, so the batch-scaling-knee rule runs without an explicit sweep.
+    profiles = {
+        f"resnet|bs{b}": _hotspot_profile(b) for b in (1, 2, 4, 8)
+    }
+    result = aggregate_insights(profiles, severity_cutoff=0.0)
+    for report in result.reports.values():
+        assert "batch-scaling-knee" in report.rules_fired
+    # A single-point grid cannot place a knee.
+    single = aggregate_insights({"only": _hotspot_profile(1)})
+    report = single.reports["only"]
+    assert report.skipped_rules.get("batch-scaling-knee") == "sweep"
+
+
+def test_universally_skipped_rules_are_surfaced():
+    result = aggregate_insights({"p": _hotspot_profile(1)})
+    skipped = result.rules_skipped_everywhere
+    assert "gpu-idle-bubbles" in skipped  # campaigns carry no traces
+    assert "gpu-idle-bubbles" in result.render()
+    assert result.to_dict()["rules_skipped_everywhere"] == skipped
+
+
+def test_campaign_result_insights_end_to_end():
+    from repro.campaign import Campaign
+
+    result = Campaign(runs_per_level=1).add_grid([53], [1, 2]).run()
+    rollup = result.insights(severity_cutoff=0.2)
+    assert len(rollup.reports) == 2
+    assert rollup.systemic, "expected systemic findings on a real grid"
+    # Point labels match the campaign's.
+    for finding in rollup.systemic:
+        for label in finding.configs:
+            assert label in rollup.reports

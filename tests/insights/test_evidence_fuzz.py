@@ -1,0 +1,127 @@
+"""Fuzz: rule evidence must always resolve against its source data.
+
+The acceptance bar for the insight engine is that findings are
+machine-checkable: any span id quoted as evidence exists in the trace,
+any layer index exists in the profile, any kernel name names a kernel of
+the profile.  This fuzzes randomized profile/trace/sweep shapes through
+every registered rule and verifies each reference.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.insights import InsightContext, InsightEngine
+
+from factories import make_kernel, make_layer, make_matching_trace, make_profile
+
+KERNEL_NAMES = (
+    "volta_scudnn_128x64_relu_interior_nn_v1",
+    "volta_scudnn_128x128_relu_small_nn_v1",
+    "volta_sgemm_128x64_nn",
+    "maxwell_scudnn_128x64_relu",
+    "Eigen::TensorCwiseBinaryOp<scalar_sum_op>",
+    "Eigen::TensorCwiseBinaryOp<scalar_max_op>",
+    "tensorflow::BiasNCHWKernel",
+    "concat_variadic_kernel",
+    "pooling_fw_4d_kernel",
+)
+LAYER_TYPES = (
+    "Conv2D", "BatchNorm", "Relu", "Add", "Mul", "Dense", "MaxPool",
+    "Softmax", "Relu6", "BiasAdd",
+)
+SYSTEMS = ("Tesla_V100", "Tesla_P4", "Quadro_RTX", "Tesla_M60")
+
+
+def random_profile(rng: random.Random):
+    layers = []
+    index = 0
+    for _ in range(rng.randint(1, 40)):
+        # Occasionally leave holes in the layer numbering, as real
+        # profiles do (e.g. Data layers filtered at level M/L/G).
+        index += rng.randint(1, 3)
+        kernels = [
+            make_kernel(
+                rng.choice(KERNEL_NAMES),
+                index,
+                position=pos,
+                latency_ms=rng.uniform(0.001, 5.0),
+                flops=rng.uniform(0.0, 1e12),
+                dram_read=rng.uniform(0.0, 1e9),
+                dram_write=rng.uniform(0.0, 1e9),
+                occupancy=rng.uniform(0.05, 1.0),
+            )
+            for pos in range(rng.randint(0, 4))
+        ]
+        layers.append(
+            make_layer(
+                index,
+                rng.choice(LAYER_TYPES),
+                alloc_bytes=rng.randint(0, 1 << 30),
+                kernels=kernels,
+            )
+        )
+    return make_profile(
+        layers,
+        batch=rng.choice([1, 2, 8, 32, 256]),
+        system=rng.choice(SYSTEMS),
+        model_latency_ms=sum(l.latency_ms for l in layers) * rng.uniform(1.0, 3.0)
+        or 1.0,
+    )
+
+
+def random_sweep(rng: random.Random):
+    if rng.random() < 0.3:
+        return None
+    latency = rng.uniform(1.0, 20.0)
+    sweep = {}
+    batch = 1
+    for _ in range(rng.randint(2, 8)):
+        sweep[batch] = latency
+        batch *= 2
+        latency *= rng.uniform(1.05, 2.2)
+    return sweep
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_evidence_always_resolves(seed):
+    rng = random.Random(seed)
+    profile = random_profile(rng)
+    trace = (
+        make_matching_trace(profile, gap_us=rng.uniform(0.0, 500.0), seed=seed)
+        if rng.random() < 0.8
+        else None
+    )
+    context = InsightContext.build(
+        profile,
+        trace=trace,
+        sweep=random_sweep(rng),
+        peak_device_memory_bytes=(
+            rng.randint(0, int(16e9)) if rng.random() < 0.5 else None
+        ),
+    )
+    report = InsightEngine().analyze(context)
+
+    span_ids = set(trace.by_id()) if trace is not None else set()
+    layer_indices = {layer.index for layer in profile.layers}
+    kernel_names = {k.name for k in profile.kernels}
+
+    for insight in report.insights:
+        assert 0.0 <= insight.severity <= 1.0
+        assert insight.evidence, f"{insight.rule} emitted without evidence"
+        for ev in insight.evidence:
+            for sid in ev.span_ids:
+                assert sid in span_ids, (
+                    f"{insight.rule}: span {sid} not in source trace"
+                )
+            for idx in ev.layer_indices:
+                assert idx in layer_indices, (
+                    f"{insight.rule}: layer {idx} not in profile"
+                )
+            if ev.kind in ("kernel", "layer"):
+                for name in ev.kernel_names:
+                    assert name in kernel_names, (
+                        f"{insight.rule}: kernel {name!r} not in profile"
+                    )

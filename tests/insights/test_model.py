@@ -1,0 +1,77 @@
+"""Insight/Evidence data model and severity semantics."""
+
+import pytest
+
+from repro.insights import Evidence, Insight, ramp, severity_label
+
+
+def test_severity_bands():
+    assert severity_label(0.0) == "info"
+    assert severity_label(0.29) == "info"
+    assert severity_label(0.30) == "warning"
+    assert severity_label(0.64) == "warning"
+    assert severity_label(0.65) == "critical"
+    assert severity_label(1.0) == "critical"
+
+
+def test_ramp():
+    assert ramp(0.0, 0.1, 0.5) == 0.0
+    assert ramp(0.1, 0.1, 0.5) == 0.0
+    assert ramp(0.3, 0.1, 0.5) == pytest.approx(0.5)
+    assert ramp(0.5, 0.1, 0.5) == 1.0
+    assert ramp(9.0, 0.1, 0.5) == 1.0  # clamps
+
+
+def test_ramp_rejects_bad_range():
+    with pytest.raises(ValueError, match="lo < hi"):
+        ramp(0.5, 0.5, 0.5)
+
+
+def test_insight_severity_validated():
+    with pytest.raises(ValueError, match="severity"):
+        Insight(rule="r", title="t", severity=1.5, recommendation="x")
+    with pytest.raises(ValueError, match="severity"):
+        Insight(rule="r", title="t", severity=-0.1, recommendation="x")
+
+
+def test_insight_band_and_render():
+    insight = Insight(
+        rule="kernel-hotspot",
+        title="one kernel dominates",
+        severity=0.8,
+        recommendation="optimize it",
+        evidence=(
+            Evidence(kind="kernel", summary="k1: 5 ms",
+                     kernel_names=("k1",), measured={"share": 0.8},
+                     threshold={"share": 0.25}),
+        ),
+    )
+    assert insight.severity_band == "critical"
+    text = insight.render()
+    assert "CRITICAL" in text and "kernel-hotspot" in text
+    assert "k1: 5 ms" in text
+
+
+def test_round_trip_to_dict():
+    evidence = Evidence(
+        kind="layer",
+        summary="layer 3 is slow",
+        span_ids=(1, 2),
+        layer_indices=(3,),
+        kernel_names=("k",),
+        measured={"ms": 1.5},
+        threshold={"ms": 1.0},
+    )
+    insight = Insight(
+        rule="r", title="t", severity=0.4, recommendation="do less",
+        evidence=(evidence,),
+    )
+    data = insight.to_dict()
+    assert data["severity_band"] == "warning"
+    assert data["evidence"][0]["span_ids"] == [1, 2]
+    assert data["evidence"][0]["layer_indices"] == [3]
+    assert data["evidence"][0]["measured"] == {"ms": 1.5}
+
+    import json
+
+    json.dumps(data)  # JSON-serializable end to end

@@ -1,0 +1,57 @@
+"""Rule registry contract: registration, lookup, replacement, removal."""
+
+import pytest
+
+from repro.insights import registry
+from repro.insights.model import Insight
+from repro.insights.rules import BUILTIN_RULES
+
+
+def test_builtin_rules_registered():
+    names = registry.rule_names()
+    for name in BUILTIN_RULES:
+        assert name in names
+    assert len(BUILTIN_RULES) >= 8
+
+
+def test_all_rules_sorted_and_callable():
+    rules = registry.all_rules()
+    assert [r.name for r in rules] == sorted(r.name for r in rules)
+    for r in rules:
+        assert callable(r.func) and r.description
+
+
+def test_register_unregister_cycle():
+    @registry.rule("test-temp-rule", description="temp", requires=())
+    def temp(ctx):
+        return [Insight(rule="test-temp-rule", title="x", severity=0.1,
+                        recommendation="y")]
+
+    try:
+        assert registry.get_rule("test-temp-rule").requires == ()
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(registry.get_rule("test-temp-rule"))
+        # replace=True overrides in place.
+        replacement = registry.Rule(
+            name="test-temp-rule", description="v2", requires=("profile",),
+            func=temp,
+        )
+        registry.register(replacement, replace=True)
+        assert registry.get_rule("test-temp-rule").description == "v2"
+    finally:
+        registry.unregister("test-temp-rule")
+    assert "test-temp-rule" not in registry.rule_names()
+
+
+def test_unknown_requirement_rejected():
+    with pytest.raises(ValueError, match="unknown ingredient"):
+        registry.register(
+            registry.Rule(name="bad", description="", requires=("gpu_dump",),
+                          func=lambda ctx: [])
+        )
+    assert "bad" not in registry.rule_names()
+
+
+def test_get_rule_unknown():
+    with pytest.raises(KeyError, match="unknown insight rule"):
+        registry.get_rule("no-such-rule")

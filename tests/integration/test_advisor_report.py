@@ -1,0 +1,18 @@
+"""EXPERIMENTS.md advisor section (experiments/report.py integration)."""
+
+from repro.experiments.report import advisor_section
+
+
+def test_advisor_section_renders_markdown():
+    lines = advisor_section(
+        model="DeepLabv3_MobileNet_v2", batch=1, sweep=(1, 2)
+    )
+    text = "\n".join(lines)
+    assert lines[0].startswith("## Advisor")
+    assert "`repro advise` output for DeepLabv3_MobileNet_v2" in text
+    assert "XSP insights: DeepLabv3_MobileNet_v2" in text
+    # Fenced code block is balanced for the markdown report.
+    assert text.count("```") == 2
+    # The across-stack rule families made it into the report.
+    for rule in ("kernel-hotspot", "batch-scaling-knee", "memory-pressure"):
+        assert rule in text

@@ -3,6 +3,8 @@
 import pytest
 
 from repro.campaign import Campaign, CampaignPoint
+from repro.core import ProfileStore
+from repro.core.leveled import LeveledExperiment
 
 
 def test_grid_expansion():
@@ -47,3 +49,49 @@ def test_campaign_reuses_pipelines():
     campaign = Campaign().add_grid([53], [1])
     campaign.run()
     assert len(campaign._pipelines) == 1
+
+
+def test_campaign_accepts_store_path(tmp_path):
+    campaign = Campaign(store=tmp_path / "cache").add_grid([53], [1])
+    result = campaign.run()
+    assert len(result) == 1
+    assert isinstance(campaign.store, ProfileStore)
+    assert len(campaign.store) == 1  # the profile was persisted
+
+
+def test_warm_campaign_skips_leveled_experiments(tmp_path, monkeypatch):
+    """Second run of the same grid is served entirely from the store."""
+    store = ProfileStore(tmp_path / "cache")
+    grid = dict(models=[53], batches=[1, 2])
+    cold = Campaign(store=store).add_grid(grid["models"], grid["batches"])
+    cold_result = cold.run()
+    assert len(cold_result) == 2
+
+    def forbidden_run(self, graph, batch):
+        raise AssertionError(
+            f"warm campaign re-ran the leveled ladder for {graph.name} "
+            f"batch {batch}"
+        )
+
+    monkeypatch.setattr(LeveledExperiment, "run", forbidden_run)
+    warm = Campaign(store=store).add_grid(grid["models"], grid["batches"])
+    warm_result = warm.run()
+    assert len(warm_result) == 2
+    for point, profile in warm_result.profiles.items():
+        assert profile.model_latency_ms == pytest.approx(
+            cold_result.profiles[point].model_latency_ms
+        )
+
+
+def test_campaign_without_store_still_profiles(monkeypatch):
+    # The default (no store) path is unchanged: the ladder runs.
+    calls = []
+    original = LeveledExperiment.run
+
+    def counting_run(self, graph, batch):
+        calls.append((graph.name, batch))
+        return original(self, graph, batch)
+
+    monkeypatch.setattr(LeveledExperiment, "run", counting_run)
+    Campaign().add_grid([53], [1]).run()
+    assert calls

@@ -64,3 +64,105 @@ def test_experiments_single(capsys):
 def test_unknown_model_errors():
     with pytest.raises(KeyError):
         main(["sweep", "--model", "999", "--batches", "1"])
+
+
+# -- every subcommand smoke-tested through main(argv) ------------------------
+
+
+def test_smoke_every_subcommand(tmp_path, capsys):
+    """Each subcommand exits 0 and prints something."""
+    trace_out = tmp_path / "t.json"
+    invocations = [
+        ["list-models"],
+        ["profile", "--model", "53", "--batch", "1", "--runs", "1"],
+        ["sweep", "--model", "53", "--batches", "1,2"],
+        ["experiments", "--only", "table07"],
+        ["trace", "--model", "53", "--batch", "1",
+         "--output", str(trace_out)],
+        ["advise", "--model", "53", "--batch", "1", "--sweep", "1,2"],
+    ]
+    for argv in invocations:
+        assert main(argv) == 0, f"{argv} failed"
+        out = capsys.readouterr().out
+        assert out.strip(), f"{argv} printed nothing"
+
+
+def test_advise_text_output(capsys):
+    assert main(["advise", "--model", "53", "--batch", "1",
+                 "--sweep", "1,2"]) == 0
+    out = capsys.readouterr().out
+    assert "XSP insights: DeepLabv3_MobileNet_v2" in out
+    # At least 8 distinct rules appear in the output.
+    rules = {"gpu-idle-bubbles", "kernel-hotspot", "library-kernel-mix",
+             "low-occupancy-kernels", "memory-bound-layers",
+             "layer-fusion-candidates", "host-gpu-imbalance",
+             "batch-scaling-knee", "memory-pressure"}
+    assert sum(rule in out for rule in rules) >= 8
+
+
+def test_advise_json_output(capsys):
+    import json as jsonlib
+
+    assert main(["advise", "--model", "53", "--batch", "1",
+                 "--sweep", "1,2", "--json"]) == 0
+    data = jsonlib.loads(capsys.readouterr().out)
+    assert data["model"] == "DeepLabv3_MobileNet_v2"
+    assert len({i["rule"] for i in data["insights"]}) >= 8
+    for insight in data["insights"]:
+        assert 0.0 <= insight["severity"] <= 1.0
+        assert insight["evidence"]
+
+
+def test_advise_json_respects_min_severity(capsys):
+    import json as jsonlib
+
+    argv = ["advise", "--model", "53", "--batch", "1", "--sweep", "none"]
+    assert main(argv + ["--json"]) == 0
+    everything = jsonlib.loads(capsys.readouterr().out)
+    assert main(argv + ["--json", "--min-severity", "0.5"]) == 0
+    filtered = jsonlib.loads(capsys.readouterr().out)
+    assert len(filtered["insights"]) < len(everything["insights"])
+    assert all(i["severity"] >= 0.5 for i in filtered["insights"])
+
+
+def test_advise_min_severity_filters(capsys):
+    assert main(["advise", "--model", "53", "--batch", "1", "--sweep",
+                 "none", "--min-severity", "0.99"]) == 0
+    out = capsys.readouterr().out
+    assert "below severity 0.99" in out or "no insights" in out
+
+
+def test_advise_cache_dir_roundtrip(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    argv = ["advise", "--model", "53", "--batch", "1", "--sweep", "none",
+            "--cache-dir", cache]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert main(argv) == 0  # warm: profile served from the store
+    second = capsys.readouterr().out
+    assert first.splitlines()[0] == second.splitlines()[0]
+
+
+def test_trace_chrome_path_only(tmp_path):
+    out_path = tmp_path / "chrome.json"
+    assert main(["trace", "--model", "53", "--batch", "1",
+                 "--chrome", str(out_path)]) == 0
+    doc = json.loads(out_path.read_text())
+    phases = {e["ph"] for e in doc["traceEvents"]}
+    assert {"X", "M", "s", "f"} <= phases
+
+
+def test_trace_both_formats(tmp_path):
+    raw = tmp_path / "raw.json"
+    chrome = tmp_path / "chrome.json"
+    assert main(["trace", "--model", "53", "--batch", "1",
+                 "--output", str(raw), "--chrome", str(chrome)]) == 0
+    from repro.tracing.export import load_trace
+
+    assert len(load_trace(str(raw))) > 10
+    assert json.loads(chrome.read_text())["traceEvents"]
+
+
+def test_trace_without_any_output_errors(capsys):
+    assert main(["trace", "--model", "53", "--batch", "1"]) == 2
+    assert "error" in capsys.readouterr().err

@@ -1,0 +1,123 @@
+"""The benchmark regression gate (benchmarks/compare_bench.py)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "compare_bench",
+    Path(__file__).resolve().parents[2] / "benchmarks" / "compare_bench.py",
+)
+compare_bench = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(compare_bench)
+
+
+def _snapshot(path, means):
+    path.write_text(json.dumps({
+        "benchmarks": [
+            {"fullname": name, "stats": {"mean": mean}}
+            for name, mean in means.items()
+        ]
+    }))
+    return str(path)
+
+
+BASE = {
+    "bench_ablation_interval_tree.py::test_sweepline_reconstruction_50k": 0.010,
+    "bench_ablation_interval_tree.py::test_tree_reconstruction_50k": 0.100,
+    "tests/tracing::test_correlation_things": 0.020,
+    "bench_fig03_throughput.py::test_fig03": 0.500,
+}
+
+
+def test_gate_passes_when_fast(tmp_path, capsys):
+    base = _snapshot(tmp_path / "old.json", BASE)
+    cur = _snapshot(
+        tmp_path / "new.json", {k: v * 1.1 for k, v in BASE.items()}
+    )
+    assert compare_bench.main([base, cur]) == 0
+    out = capsys.readouterr().out
+    assert "benchmark gate passed" in out
+    # The non-matching fig03 bench is not part of the gate.
+    assert "fig03" not in out
+
+
+def test_gate_fails_on_regression(tmp_path, capsys):
+    base = _snapshot(tmp_path / "old.json", BASE)
+    regressed = dict(BASE)
+    regressed[
+        "bench_ablation_interval_tree.py::test_sweepline_reconstruction_50k"
+    ] = 0.013  # 1.3x: beyond the 20% budget
+    cur = _snapshot(tmp_path / "new.json", regressed)
+    assert compare_bench.main([base, cur]) == 1
+    captured = capsys.readouterr()
+    assert "REGRESSION" in captured.out
+    assert "FAILED" in captured.err
+
+
+def test_gate_respects_budget_flag(tmp_path):
+    base = _snapshot(tmp_path / "old.json", BASE)
+    cur = _snapshot(
+        tmp_path / "new.json", {k: v * 1.3 for k, v in BASE.items()}
+    )
+    assert compare_bench.main([base, cur]) == 1
+    assert compare_bench.main([base, cur, "--max-regression", "0.50"]) == 0
+
+
+def test_custom_patterns(tmp_path, capsys):
+    base = _snapshot(tmp_path / "old.json", BASE)
+    cur = _snapshot(
+        tmp_path / "new.json", {k: v * 2.0 for k, v in BASE.items()}
+    )
+    # Gate only fig03: the sweep regressions are out of scope.
+    assert compare_bench.main([base, cur, "--pattern", "fig03"]) == 1
+    out = capsys.readouterr().out
+    assert "fig03" in out and "sweepline" not in out
+
+
+def test_new_benchmarks_are_ignored(tmp_path, capsys):
+    # A bench only present in the current snapshot cannot be compared.
+    base = _snapshot(tmp_path / "old.json", BASE)
+    cur = _snapshot(
+        tmp_path / "new.json",
+        {**BASE, "bench_insights_engine.py::test_sweep_new_thing": 9.0},
+    )
+    assert compare_bench.main([base, cur]) == 0
+
+
+def test_missing_gated_bench_fails(tmp_path, capsys):
+    # Renaming/removing a gated bench must fail the gate, not shrink it.
+    base = _snapshot(tmp_path / "old.json", BASE)
+    shrunk = {
+        k: v for k, v in BASE.items() if "sweepline" not in k
+    }
+    cur = _snapshot(tmp_path / "new.json", shrunk)
+    assert compare_bench.main([base, cur]) == 1
+    assert "GATED BENCH MISSING" in capsys.readouterr().out
+
+
+def test_no_matches_at_all_fails(tmp_path, capsys):
+    base = _snapshot(tmp_path / "old.json", {"a::b": 1.0})
+    cur = _snapshot(tmp_path / "new.json", {"a::b": 5.0})
+    assert compare_bench.main([base, cur]) == 1
+    assert "no coverage" in capsys.readouterr().out
+
+
+def test_compare_function_reports_faster():
+    lines, regressions = compare_bench.compare(
+        {"x::sweepline": 1.0}, {"x::sweepline": 0.5}, ["sweep"], 0.2
+    )
+    assert regressions == []
+    assert any("faster" in line for line in lines)
+
+
+@pytest.mark.parametrize("ratio,expect", [(1.19, 0), (1.21, 1)])
+def test_gate_boundary(tmp_path, ratio, expect):
+    means = {"bench::test_sweepline": 0.010}
+    base = _snapshot(tmp_path / "old.json", means)
+    cur = _snapshot(
+        tmp_path / "new.json", {k: v * ratio for k, v in means.items()}
+    )
+    assert compare_bench.main([base, cur]) == expect

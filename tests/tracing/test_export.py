@@ -73,3 +73,54 @@ def test_real_profiled_trace_round_trips(v100_session, cnn_graph):
     restored = trace_from_json(trace_to_json(run.trace))
     assert len(restored) == len(run.trace)
     assert restored.levels_present() == run.trace.levels_present()
+
+
+# -- Chrome trace_event export ----------------------------------------------
+
+
+def test_chrome_export_structure():
+    import json
+
+    from repro.tracing.export import trace_to_chrome
+
+    doc = json.loads(trace_to_chrome(sample_trace()))
+    assert doc["displayTimeUnit"] == "ms"
+    events = doc["traceEvents"]
+
+    meta = [e for e in events if e["ph"] == "M"]
+    names = {e["name"]: e for e in meta}
+    assert names["process_name"]["args"]["name"] == "m"
+    thread_names = [
+        e["args"]["name"] for e in meta if e["name"] == "thread_name"
+    ]
+    assert "L1 MODEL" in thread_names and "L4 GPU_KERNEL" in thread_names
+
+    complete = [e for e in events if e["ph"] == "X"]
+    assert len(complete) == 3
+    predict = next(e for e in complete if e["name"] == "predict")
+    assert predict["ts"] == 0 and predict["dur"] == 1.0  # microseconds
+    assert predict["args"]["span_id"] == 1
+    assert predict["tid"] == int(Level.MODEL)
+
+
+def test_chrome_export_flow_events_join_launch_execution():
+    import json
+
+    from repro.tracing.export import trace_to_chrome
+
+    t = sample_trace()
+    t.add(Span("kernel", 200, 230, Level.GPU_KERNEL, span_id=4,
+               kind=SpanKind.EXECUTION, correlation_id=9))
+    events = json.loads(trace_to_chrome(t))["traceEvents"]
+    starts = [e for e in events if e["ph"] == "s"]
+    finishes = [e for e in events if e["ph"] == "f"]
+    assert len(starts) == 1 and len(finishes) == 1
+    assert starts[0]["id"] == finishes[0]["id"] == 9
+    assert finishes[0]["bp"] == "e"
+
+
+def test_trace_method_delegates_to_export():
+    t = sample_trace()
+    from repro.tracing.export import trace_to_chrome
+
+    assert t.to_chrome_trace() == trace_to_chrome(t)

@@ -1,0 +1,104 @@
+"""Gap index: idle intervals between spans, served index-once/query-many."""
+
+from repro.tracing import Gap, Level, Span, SpanKind, Trace
+
+
+def _trace(spans):
+    t = Trace(trace_id=1)
+    t.extend(spans)
+    return t
+
+
+def test_simple_gaps():
+    t = _trace([
+        Span("a", 0, 10, Level.GPU_KERNEL, span_id=1),
+        Span("b", 15, 20, Level.GPU_KERNEL, span_id=2),
+        Span("c", 30, 40, Level.GPU_KERNEL, span_id=3),
+    ])
+    gaps = t.gaps(Level.GPU_KERNEL)
+    assert gaps == [
+        Gap(start_ns=10, end_ns=15, before_id=1, after_id=2),
+        Gap(start_ns=20, end_ns=30, before_id=2, after_id=3),
+    ]
+    assert gaps[0].duration_ns == 5
+    assert gaps[1].duration_ms == 10 / 1e6
+
+
+def test_overlapping_spans_coalesce():
+    # b overlaps a; c nests inside b; only the interval after b is idle.
+    t = _trace([
+        Span("a", 0, 10, Level.GPU_KERNEL, span_id=1),
+        Span("b", 5, 25, Level.GPU_KERNEL, span_id=2),
+        Span("c", 7, 9, Level.GPU_KERNEL, span_id=3),
+        Span("d", 30, 35, Level.GPU_KERNEL, span_id=4),
+    ])
+    gaps = t.gaps(Level.GPU_KERNEL)
+    assert gaps == [Gap(start_ns=25, end_ns=30, before_id=2, after_id=4)]
+
+
+def test_containing_span_swallows_gaps():
+    # One long span covers everything: no idle time at its level.
+    t = _trace([
+        Span("all", 0, 100, Level.GPU_KERNEL, span_id=1),
+        Span("x", 10, 20, Level.GPU_KERNEL, span_id=2),
+        Span("y", 40, 50, Level.GPU_KERNEL, span_id=3),
+    ])
+    assert t.gaps(Level.GPU_KERNEL) == []
+
+
+def test_kind_filter():
+    t = _trace([
+        Span("launch1", 0, 2, Level.GPU_KERNEL, span_id=1,
+             kind=SpanKind.LAUNCH),
+        Span("exec1", 5, 10, Level.GPU_KERNEL, span_id=2,
+             kind=SpanKind.EXECUTION),
+        Span("launch2", 3, 4, Level.GPU_KERNEL, span_id=3,
+             kind=SpanKind.LAUNCH),
+        Span("exec2", 20, 30, Level.GPU_KERNEL, span_id=4,
+             kind=SpanKind.EXECUTION),
+    ])
+    exec_gaps = t.gaps(Level.GPU_KERNEL, SpanKind.EXECUTION)
+    assert exec_gaps == [Gap(start_ns=10, end_ns=20, before_id=2, after_id=4)]
+    # Unfiltered view interleaves the launches.
+    assert len(t.gaps(Level.GPU_KERNEL)) == 3
+
+
+def test_adjacent_spans_leave_no_gap():
+    t = _trace([
+        Span("a", 0, 10, Level.LAYER, span_id=1),
+        Span("b", 10, 20, Level.LAYER, span_id=2),
+    ])
+    assert t.gaps(Level.LAYER) == []
+
+
+def test_empty_and_missing_level():
+    assert Trace(trace_id=1).gaps(Level.GPU_KERNEL) == []
+    t = _trace([Span("m", 0, 10, Level.MODEL, span_id=1)])
+    assert t.gaps(Level.GPU_KERNEL) == []
+
+
+def test_gap_queries_are_cached_until_mutation():
+    t = _trace([
+        Span("a", 0, 10, Level.GPU_KERNEL, span_id=1),
+        Span("b", 20, 30, Level.GPU_KERNEL, span_id=2),
+    ])
+    first = t.index.gaps(Level.GPU_KERNEL)
+    # Same snapshot: the cached list object itself is served again.
+    assert t.index.gaps(Level.GPU_KERNEL) is first
+
+    t.add(Span("c", 12, 14, Level.GPU_KERNEL, span_id=3))
+    rebuilt = t.gaps(Level.GPU_KERNEL)
+    assert [g.duration_ns for g in rebuilt] == [2, 6]
+
+
+def test_evidence_span_ids_resolve():
+    spans = [
+        Span(f"k{i}", i * 100, i * 100 + 50, Level.GPU_KERNEL, span_id=i + 1)
+        for i in range(20)
+    ]
+    t = _trace(spans)
+    by_id = t.by_id()
+    for gap in t.gaps(Level.GPU_KERNEL):
+        assert gap.before_id in by_id and gap.after_id in by_id
+        assert by_id[gap.before_id].end_ns == gap.start_ns
+        assert by_id[gap.after_id].start_ns == gap.end_ns
