@@ -1,0 +1,480 @@
+"""The diff engine: align two profiles, measure deltas, classify findings.
+
+:func:`diff_profiles` is the subsystem's entry point.  It aligns the two
+layer sequences (:mod:`repro.analysis.diff.align`), emits per-layer and
+per-kernel :class:`~repro.analysis.diff.model.Delta` records plus
+model-level rollups, then classifies ranked
+:class:`~repro.analysis.diff.model.DiffFinding`\\ s using the insight
+engine's severity conventions (:func:`repro.insights.model.ramp`, the
+info/warning/critical bands) and :class:`~repro.insights.model.Evidence`
+records that resolve against both source profiles.
+
+A self-diff is clean by construction: ``diff_profiles(p, p)`` measures
+zero change everywhere, so every emitted finding scores severity 0 —
+findings are *observational* (like insight rules) and ``--min-severity``
+/ severity bands do the filtering.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.analysis.diff.align import (
+    KernelGroup,
+    LayerAlignment,
+    align_layers,
+    group_kernels,
+)
+from repro.analysis.diff.model import (
+    Delta,
+    DiffFinding,
+    KernelDelta,
+    LayerDelta,
+    ProfileDiff,
+)
+from repro.core.pipeline import LayerProfile, ModelProfile
+from repro.insights.model import Evidence, ramp
+
+#: Fractional model-latency change at which a regression/improvement
+#: starts to matter / saturates the severity ramp.
+LATENCY_WARN_FRACTION = 0.05
+LATENCY_SATURATION = 0.50
+
+#: Candidate kernel-time share at which a kernel counts as a hotspot, and
+#: the share *gain* that saturates the new-hotspot ramp.
+NEW_HOTSPOT_SHARE = 0.10
+NEW_HOTSPOT_SATURATION = 0.40
+#: A hotspot is "new" when its candidate share at least doubled.
+NEW_HOTSPOT_GROWTH = 2.0
+
+#: Total-variation distance between kernel-time distributions at which
+#: the mix shift warns / saturates.
+MIX_WARN_DISTANCE = 0.10
+MIX_SATURATION = 0.60
+
+#: Layers / kernels quoted as evidence per finding.
+TOP_CONTRIBUTORS = 3
+#: Independent new-hotspot findings emitted at most.
+MAX_HOTSPOT_FINDINGS = 3
+
+_EMPTY = KernelGroup(
+    name="", count=0, latency_ms=0.0, flops=0.0, dram_bytes=0.0, occupancy=0.0
+)
+
+
+def _identity(profile: ModelProfile) -> dict[str, object]:
+    return {
+        "model_name": profile.model_name,
+        "system": profile.system,
+        "framework": profile.framework,
+        "batch": profile.batch,
+        "n_runs": profile.n_runs,
+        "model_latency_ms": profile.model_latency_ms,
+    }
+
+
+def _kernel_deltas(
+    baseline: list, candidate: list
+) -> tuple[KernelDelta, ...]:
+    base = group_kernels(baseline)
+    cand = group_kernels(candidate)
+    deltas: list[KernelDelta] = []
+    for name, b in base.items():
+        c = cand.get(name, _EMPTY)
+        deltas.append(_kernel_delta(name, b, c, "matched" if name in cand else "removed"))
+    for name, c in cand.items():
+        if name not in base:
+            deltas.append(_kernel_delta(name, _EMPTY, c, "added"))
+    return tuple(deltas)
+
+
+def _kernel_delta(
+    name: str, b: KernelGroup, c: KernelGroup, status: str
+) -> KernelDelta:
+    return KernelDelta(
+        name=name,
+        status=status,
+        count=Delta(b.count, c.count),
+        latency_ms=Delta(b.latency_ms, c.latency_ms),
+        flops=Delta(b.flops, c.flops),
+        dram_bytes=Delta(b.dram_bytes, c.dram_bytes),
+        occupancy=Delta(b.occupancy, c.occupancy),
+    )
+
+
+def _layer_delta(
+    baseline: LayerProfile | None,
+    candidate: LayerProfile | None,
+    *,
+    via: str | None = None,
+) -> LayerDelta:
+    reference = candidate if candidate is not None else baseline
+    assert reference is not None
+
+    def metric(attr: str) -> Delta:
+        return Delta(
+            float(getattr(baseline, attr)) if baseline is not None else 0.0,
+            float(getattr(candidate, attr)) if candidate is not None else 0.0,
+        )
+
+    if baseline is not None and candidate is not None:
+        status = "matched"
+    elif candidate is not None:
+        status = "added"
+    else:
+        status = "removed"
+    return LayerDelta(
+        name=reference.name,
+        layer_type=reference.layer_type,
+        status=status,
+        via=via,
+        baseline_index=baseline.index if baseline is not None else None,
+        candidate_index=candidate.index if candidate is not None else None,
+        latency_ms=metric("latency_ms"),
+        flops=metric("flops"),
+        dram_bytes=metric("dram_bytes"),
+        occupancy=metric("achieved_occupancy"),
+        alloc_bytes=metric("alloc_bytes"),
+        kernels=_kernel_deltas(
+            baseline.kernels if baseline is not None else [],
+            candidate.kernels if candidate is not None else [],
+        ),
+    )
+
+
+def _totals(baseline: ModelProfile, candidate: ModelProfile) -> dict[str, Delta]:
+    def metric(fn) -> Delta:
+        return Delta(float(fn(baseline)), float(fn(candidate)))
+
+    return {
+        "model_latency_ms": metric(lambda p: p.model_latency_ms),
+        "kernel_latency_ms": metric(lambda p: p.kernel_latency_ms),
+        # Guard the degenerate zero-latency profile a malformed JSON or
+        # empty trace can produce (ModelProfile.throughput divides by it).
+        "throughput": metric(
+            lambda p: p.throughput if p.model_latency_ms > 0 else 0.0
+        ),
+        "flops": metric(lambda p: p.flops),
+        "dram_bytes": metric(lambda p: p.dram_bytes),
+        "achieved_occupancy": metric(lambda p: p.achieved_occupancy),
+        "alloc_bytes": metric(
+            lambda p: sum(layer.alloc_bytes for layer in p.layers)
+        ),
+        "n_kernels": metric(lambda p: len(p.kernels)),
+    }
+
+
+# -- finding classification ---------------------------------------------------
+
+
+def _model_evidence(profile: ModelProfile, threshold: dict) -> Evidence:
+    throughput = (
+        profile.throughput if profile.model_latency_ms > 0 else 0.0
+    )
+    return Evidence(
+        kind="model",
+        summary=(
+            f"{profile.model_name} on {profile.system} "
+            f"({profile.framework}, batch {profile.batch}): "
+            f"{profile.model_latency_ms:.3f} ms, "
+            f"{throughput:.1f} inputs/s"
+        ),
+        measured={
+            "model_latency_ms": profile.model_latency_ms,
+            "throughput": throughput,
+        },
+        threshold=threshold,
+    )
+
+
+def _layer_side_evidence(
+    layer: LayerDelta, side: str
+) -> Evidence | None:
+    """Per-side layer evidence; None when the layer is absent on ``side``."""
+    index = (
+        layer.baseline_index if side == "baseline" else layer.candidate_index
+    )
+    if index is None:
+        return None
+    value = getattr(layer.latency_ms, side)
+    return Evidence(
+        kind="layer",
+        summary=(
+            f"layer {layer.name} ({layer.layer_type}): {value:.3f} ms "
+            f"[{layer.latency_ms.format(' ms')}]"
+        ),
+        layer_indices=(index,),
+        measured={
+            "latency_ms": value,
+            "latency_delta_ms": layer.latency_ms.delta,
+        },
+    )
+
+
+def _latency_finding(
+    baseline: ModelProfile,
+    candidate: ModelProfile,
+    layers: list[LayerDelta],
+    totals: dict[str, Delta],
+) -> DiffFinding:
+    latency = totals["model_latency_ms"]
+    regressed = latency.delta > 0
+    fraction = (
+        max(0.0, latency.ratio - 1.0)
+        if regressed
+        else max(0.0, 1.0 - latency.ratio)
+    )
+    severity = ramp(
+        min(fraction, LATENCY_SATURATION),
+        LATENCY_WARN_FRACTION / 2,
+        LATENCY_SATURATION,
+    )
+    threshold = {"latency_change_fraction": LATENCY_WARN_FRACTION}
+    base_ev = [_model_evidence(baseline, threshold)]
+    cand_ev = [_model_evidence(candidate, threshold)]
+    # The layers that moved the needle, in the finding's direction.
+    sign = 1.0 if regressed else -1.0
+    contributors = sorted(
+        (l for l in layers if sign * l.latency_ms.delta > 0),
+        key=lambda l: -sign * l.latency_ms.delta,
+    )[:TOP_CONTRIBUTORS]
+    for layer in contributors:
+        for side, bucket in (("baseline", base_ev), ("candidate", cand_ev)):
+            ev = _layer_side_evidence(layer, side)
+            if ev is not None:
+                bucket.append(ev)
+    if regressed:
+        kind = "regression"
+        title = (
+            f"candidate is {100 * fraction:.1f}% slower "
+            f"({latency.format(' ms')})"
+        )
+        recommendation = (
+            "the layers below contribute most of the slowdown; compare "
+            "their kernel deltas to see whether the library picked a "
+            "different algorithm or the layer itself grew"
+        )
+    else:
+        kind = "improvement"
+        title = (
+            f"candidate is {100 * fraction:.1f}% faster "
+            f"({latency.format(' ms')})"
+        )
+        recommendation = (
+            "improvement — the layers below gained the most; their kernel "
+            "deltas show where the time went"
+        )
+    return DiffFinding(
+        kind=kind,
+        title=title,
+        severity=severity,
+        recommendation=recommendation,
+        baseline_evidence=tuple(base_ev),
+        candidate_evidence=tuple(cand_ev),
+    )
+
+
+class _KernelView:
+    """One side's kernel statistics, computed once per diff.
+
+    ``ModelProfile.kernels`` walks every layer on each access, so the
+    finding classifiers share this snapshot instead of re-deriving
+    shares/name-sets per finding.
+    """
+
+    def __init__(self, profile: ModelProfile) -> None:
+        self.kernels = profile.kernels
+        self.total_ms = sum(k.latency_ms for k in self.kernels)
+        shares: dict[str, float] = defaultdict(float)
+        if self.total_ms > 0:
+            for k in self.kernels:
+                shares[k.name] += k.latency_ms / self.total_ms
+        self.shares: dict[str, float] = dict(shares)
+        self.names = frozenset(k.name for k in self.kernels)
+
+    def layers_of(self, name: str) -> tuple[int, ...]:
+        seen: dict[int, None] = {}
+        for k in self.kernels:
+            if k.name == name and k.layer_index not in seen:
+                seen[k.layer_index] = None
+                if len(seen) >= 10:
+                    break
+        return tuple(seen)
+
+
+def _kernel_side_evidence(
+    view: _KernelView, name: str, share: float, threshold: dict
+) -> Evidence:
+    if name in view.names:
+        return Evidence(
+            kind="kernel",
+            summary=(
+                f"{name}: {100 * share:.1f}% of GPU kernel time"
+            ),
+            kernel_names=(name,),
+            layer_indices=view.layers_of(name),
+            measured={"share": share},
+            threshold=threshold,
+        )
+    return Evidence(
+        kind="kernel",
+        summary=f"{name}: not launched in this profile",
+        measured={"share": 0.0},
+        threshold=threshold,
+    )
+
+
+def _hotspot_findings(
+    base_view: _KernelView, cand_view: _KernelView
+) -> list[DiffFinding]:
+    base_shares = base_view.shares
+    cand_shares = cand_view.shares
+    threshold = {
+        "share": NEW_HOTSPOT_SHARE,
+        "growth": NEW_HOTSPOT_GROWTH,
+    }
+    emerged = sorted(
+        (
+            (name, share)
+            for name, share in cand_shares.items()
+            if share >= NEW_HOTSPOT_SHARE
+            and share >= NEW_HOTSPOT_GROWTH * base_shares.get(name, 0.0)
+        ),
+        key=lambda item: -(item[1] - base_shares.get(item[0], 0.0)),
+    )[:MAX_HOTSPOT_FINDINGS]
+    findings = []
+    for name, share in emerged:
+        base_share = base_shares.get(name, 0.0)
+        findings.append(
+            DiffFinding(
+                kind="new-hotspot",
+                title=(
+                    f"kernel {name} emerged as a hotspot: "
+                    f"{100 * base_share:.1f}% -> {100 * share:.1f}% of "
+                    "GPU time"
+                ),
+                severity=ramp(
+                    share - base_share,
+                    NEW_HOTSPOT_SHARE / 2,
+                    NEW_HOTSPOT_SATURATION,
+                ),
+                recommendation=(
+                    "this kernel barely registered in the baseline; check "
+                    "which layers now launch it (library algorithm switch, "
+                    "shape change) before optimizing anything else"
+                ),
+                baseline_evidence=(
+                    _kernel_side_evidence(
+                        base_view, name, base_share, threshold
+                    ),
+                ),
+                candidate_evidence=(
+                    _kernel_side_evidence(cand_view, name, share, threshold),
+                ),
+            )
+        )
+    return findings
+
+
+def _mix_shift_finding(
+    base_view: _KernelView, cand_view: _KernelView
+) -> DiffFinding | None:
+    base_shares = base_view.shares
+    cand_shares = cand_view.shares
+    if not base_shares and not cand_shares:
+        return None
+    names = set(base_shares) | set(cand_shares)
+    distance = 0.5 * sum(
+        abs(base_shares.get(n, 0.0) - cand_shares.get(n, 0.0)) for n in names
+    )
+    threshold = {"mix_distance": MIX_WARN_DISTANCE}
+    movers = sorted(
+        names,
+        key=lambda n: -abs(base_shares.get(n, 0.0) - cand_shares.get(n, 0.0)),
+    )[:TOP_CONTRIBUTORS]
+    base_ev = [
+        Evidence(
+            kind="kernel_mix",
+            summary=(
+                f"{len(base_shares)} kernel names over "
+                f"{base_view.total_ms:.3f} ms of GPU time"
+            ),
+            measured={"mix_distance": distance},
+            threshold=threshold,
+        )
+    ]
+    cand_ev = [
+        Evidence(
+            kind="kernel_mix",
+            summary=(
+                f"{len(cand_shares)} kernel names over "
+                f"{cand_view.total_ms:.3f} ms of GPU time"
+            ),
+            measured={"mix_distance": distance},
+            threshold=threshold,
+        )
+    ]
+    for name in movers:
+        b, c = base_shares.get(name, 0.0), cand_shares.get(name, 0.0)
+        if name in base_shares:
+            base_ev.append(
+                _kernel_side_evidence(base_view, name, b, threshold)
+            )
+        if name in cand_shares:
+            cand_ev.append(
+                _kernel_side_evidence(cand_view, name, c, threshold)
+            )
+    return DiffFinding(
+        kind="kernel-mix-shift",
+        title=(
+            f"kernel-time distribution moved {100 * distance:.1f}% "
+            "(total-variation distance) between the two profiles"
+        ),
+        severity=ramp(distance, MIX_WARN_DISTANCE / 2, MIX_SATURATION),
+        recommendation=(
+            "a large mix shift means the two configurations run different "
+            "code, not just different speeds — attribute the diff per "
+            "kernel before crediting the hardware or framework"
+        ),
+        baseline_evidence=tuple(base_ev),
+        candidate_evidence=tuple(cand_ev),
+    )
+
+
+def classify(
+    baseline: ModelProfile,
+    candidate: ModelProfile,
+    layers: list[LayerDelta],
+    totals: dict[str, Delta],
+) -> list[DiffFinding]:
+    """Ranked findings for an aligned profile pair."""
+    base_view = _KernelView(baseline)
+    cand_view = _KernelView(candidate)
+    findings = [_latency_finding(baseline, candidate, layers, totals)]
+    findings.extend(_hotspot_findings(base_view, cand_view))
+    mix = _mix_shift_finding(base_view, cand_view)
+    if mix is not None:
+        findings.append(mix)
+    findings.sort(key=lambda f: -f.severity)
+    return findings
+
+
+def diff_profiles(
+    baseline: ModelProfile, candidate: ModelProfile
+) -> ProfileDiff:
+    """Align ``baseline`` and ``candidate`` and explain what changed."""
+    alignment: LayerAlignment = align_layers(baseline.layers, candidate.layers)
+    layers: list[LayerDelta] = [
+        _layer_delta(m.baseline, m.candidate, via=m.via)
+        for m in alignment.matched
+    ]
+    layers.extend(_layer_delta(l, None) for l in alignment.removed)
+    layers.extend(_layer_delta(None, l) for l in alignment.added)
+    totals = _totals(baseline, candidate)
+    return ProfileDiff(
+        baseline=_identity(baseline),
+        candidate=_identity(candidate),
+        totals=totals,
+        layers=layers,
+        findings=classify(baseline, candidate, layers, totals),
+    )

@@ -1,0 +1,342 @@
+"""Differential-analysis data model: what changed between two profiles.
+
+XSP's headline workflow is comparative — the paper's Tables VIII-X
+profile the same models across systems and frameworks and explain *why*
+one configuration beats another.  A :class:`ProfileDiff` is that
+explanation in machine-checkable form: per-layer and per-kernel
+:class:`Delta` records between an aligned *baseline* and *candidate*
+profile, model-level rollups, and ranked :class:`DiffFinding`\\ s whose
+:class:`~repro.insights.model.Evidence` resolves against **both** source
+profiles (baseline references against the baseline, candidate references
+against the candidate).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.insights.model import Evidence, severity_label
+
+#: Finding kinds a diff can classify (see repro.analysis.diff.engine).
+FINDING_KINDS = (
+    "regression",
+    "improvement",
+    "new-hotspot",
+    "kernel-mix-shift",
+)
+
+
+def _json_number(value: float) -> float | None:
+    """Strict-JSON form of a possibly-infinite measurement.
+
+    ``json.dumps`` would emit the non-standard ``Infinity`` token (which
+    jq / ``JSON.parse`` / most strict parsers reject), so unbounded
+    ratios serialize as ``null`` — "no finite value" — instead.
+    """
+    return value if math.isfinite(value) else None
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One scalar measured on both sides of a diff."""
+
+    baseline: float
+    candidate: float
+
+    @property
+    def delta(self) -> float:
+        return self.candidate - self.baseline
+
+    @property
+    def ratio(self) -> float:
+        """candidate / baseline; 1.0 when both are zero, inf when only
+        the baseline is."""
+        if self.baseline == 0:
+            return 1.0 if self.candidate == 0 else math.inf
+        return self.candidate / self.baseline
+
+    @property
+    def pct_change(self) -> float:
+        """Relative change in percent (+ = candidate larger)."""
+        ratio = self.ratio
+        return math.inf if math.isinf(ratio) else 100.0 * (ratio - 1.0)
+
+    def to_dict(self) -> dict[str, float | None]:
+        return {
+            "baseline": self.baseline,
+            "candidate": self.candidate,
+            "delta": self.delta,
+            "ratio": _json_number(self.ratio),
+        }
+
+    def format(self, unit: str = "", spec: str = ".3f") -> str:
+        pct = self.pct_change
+        arrow = "=" if self.delta == 0 else ("+" if self.delta > 0 else "-")
+        pct_s = "inf%" if math.isinf(pct) else f"{abs(pct):.1f}%"
+        return (
+            f"{self.baseline:{spec}}{unit} -> {self.candidate:{spec}}{unit} "
+            f"({arrow}{pct_s})"
+        )
+
+
+@dataclass(frozen=True)
+class KernelDelta:
+    """All same-named kernels of one aligned layer pair, side by side.
+
+    Kernels are matched per-layer by name; counts can differ (algorithm
+    switches change launch counts), so each side is the *aggregate* over
+    its same-named group.  ``status`` is ``matched`` / ``added`` (only in
+    the candidate) / ``removed`` (only in the baseline); the missing side
+    of an added/removed kernel reads as zero.
+    """
+
+    name: str
+    status: str
+    count: Delta
+    latency_ms: Delta
+    flops: Delta
+    dram_bytes: Delta
+    occupancy: Delta  #: latency-weighted achieved occupancy
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "status": self.status,
+            "count": self.count.to_dict(),
+            "latency_ms": self.latency_ms.to_dict(),
+            "flops": self.flops.to_dict(),
+            "dram_bytes": self.dram_bytes.to_dict(),
+            "occupancy": self.occupancy.to_dict(),
+        }
+
+
+@dataclass(frozen=True)
+class LayerDelta:
+    """One aligned layer (or a layer present on only one side).
+
+    ``status`` is ``matched`` / ``added`` / ``removed``; for matched
+    layers ``via`` records the alignment rule that paired them
+    (``name`` / ``type`` / ``index``).  Indices are per-side
+    (``baseline_index`` resolves against the baseline profile,
+    ``candidate_index`` against the candidate); the absent side of an
+    added/removed layer is ``None`` and its metrics read as zero.
+    """
+
+    name: str
+    layer_type: str
+    status: str
+    via: str | None
+    baseline_index: int | None
+    candidate_index: int | None
+    latency_ms: Delta
+    flops: Delta
+    dram_bytes: Delta
+    occupancy: Delta
+    alloc_bytes: Delta
+    kernels: tuple[KernelDelta, ...] = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "layer_type": self.layer_type,
+            "status": self.status,
+            "via": self.via,
+            "baseline_index": self.baseline_index,
+            "candidate_index": self.candidate_index,
+            "latency_ms": self.latency_ms.to_dict(),
+            "flops": self.flops.to_dict(),
+            "dram_bytes": self.dram_bytes.to_dict(),
+            "occupancy": self.occupancy.to_dict(),
+            "alloc_bytes": self.alloc_bytes.to_dict(),
+            "kernels": [k.to_dict() for k in self.kernels],
+        }
+
+
+@dataclass(frozen=True)
+class DiffFinding:
+    """One classified, ranked change between the two profiles.
+
+    Severity reuses the insight engine's conventions (``ramp`` + the
+    info/warning/critical bands); the evidence is split per side so every
+    span id / layer index / kernel name resolves against the profile it
+    was measured on.
+    """
+
+    kind: str  #: one of :data:`FINDING_KINDS`
+    title: str
+    severity: float  #: in [0, 1]
+    recommendation: str
+    baseline_evidence: tuple[Evidence, ...] = ()
+    candidate_evidence: tuple[Evidence, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in FINDING_KINDS:
+            raise ValueError(
+                f"unknown finding kind {self.kind!r}; valid: {FINDING_KINDS}"
+            )
+        if not 0.0 <= self.severity <= 1.0:
+            raise ValueError(
+                f"severity must be in [0, 1], got {self.severity} "
+                f"({self.kind!r})"
+            )
+
+    @property
+    def severity_band(self) -> str:
+        return severity_label(self.severity)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "title": self.title,
+            "severity": self.severity,
+            "severity_band": self.severity_band,
+            "recommendation": self.recommendation,
+            "baseline_evidence": [e.to_dict() for e in self.baseline_evidence],
+            "candidate_evidence": [
+                e.to_dict() for e in self.candidate_evidence
+            ],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"[{self.severity_band.upper():>8} {self.severity:.2f}] "
+            f"{self.title}  ({self.kind})",
+            f"    -> {self.recommendation}",
+        ]
+        for side, evidence in (
+            ("baseline", self.baseline_evidence),
+            ("candidate", self.candidate_evidence),
+        ):
+            for ev in evidence:
+                lines.append(f"    * {side}: {ev.summary}")
+        return "\n".join(lines)
+
+
+#: Model-level rollup metrics (name -> display unit/format) in render order.
+ROLLUP_METRICS = (
+    ("model_latency_ms", " ms", ".3f"),
+    ("kernel_latency_ms", " ms", ".3f"),
+    ("throughput", " /s", ".1f"),
+    ("flops", "", ".3e"),
+    ("dram_bytes", "", ".3e"),
+    ("achieved_occupancy", "", ".3f"),
+    ("alloc_bytes", "", ".3e"),
+    ("n_kernels", "", ".0f"),
+)
+
+
+@dataclass
+class ProfileDiff:
+    """The aligned, classified difference between two profiles."""
+
+    baseline: dict[str, Any]  #: identity of side A (model/system/...)
+    candidate: dict[str, Any]  #: identity of side B
+    totals: dict[str, Delta]  #: model-level rollups (see ROLLUP_METRICS)
+    layers: list[LayerDelta] = field(default_factory=list)
+    findings: list[DiffFinding] = field(default_factory=list)
+
+    # -- headline numbers ---------------------------------------------------
+    @property
+    def latency(self) -> Delta:
+        return self.totals["model_latency_ms"]
+
+    @property
+    def speedup(self) -> float:
+        """baseline latency / candidate latency (> 1 = candidate faster)."""
+        ratio = self.latency.ratio
+        if ratio == 0:
+            return math.inf
+        return 0.0 if math.isinf(ratio) else 1.0 / ratio
+
+    @property
+    def regression_fraction(self) -> float:
+        """Fractional model-latency slowdown of the candidate (>= 0).
+
+        This is the number the CLI's ``--max-regression`` gate checks:
+        0.25 means the candidate is 25% slower than the baseline.
+        """
+        ratio = self.latency.ratio
+        return math.inf if math.isinf(ratio) else max(0.0, ratio - 1.0)
+
+    # -- views ---------------------------------------------------------------
+    def findings_above(self, min_severity: float) -> list[DiffFinding]:
+        return [f for f in self.findings if f.severity >= min_severity]
+
+    def layers_with_status(self, status: str) -> list[LayerDelta]:
+        return [l for l in self.layers if l.status == status]
+
+    def to_dict(self, *, min_severity: float = 0.0) -> dict[str, Any]:
+        return {
+            "baseline": dict(self.baseline),
+            "candidate": dict(self.candidate),
+            "speedup": _json_number(self.speedup),
+            "regression_fraction": _json_number(self.regression_fraction),
+            "totals": {k: d.to_dict() for k, d in self.totals.items()},
+            "layers": [l.to_dict() for l in self.layers],
+            "findings": [
+                f.to_dict() for f in self.findings_above(min_severity)
+            ],
+        }
+
+    def render(self, *, min_severity: float = 0.0, max_layers: int = 10) -> str:
+        """Narrated text comparison (the CLI's default output)."""
+
+        def _ident(side: dict[str, Any]) -> str:
+            return (
+                f"{side.get('model_name', '?')} | {side.get('framework', '?')}"
+                f" | {side.get('system', '?')} | batch {side.get('batch', '?')}"
+            )
+
+        header = (
+            f"XSP diff: {_ident(self.baseline)}  vs  {_ident(self.candidate)}"
+        )
+        lines = [header, "=" * len(header)]
+        verb = "faster" if self.speedup >= 1.0 else "slower"
+        factor = (
+            self.speedup
+            if self.speedup >= 1.0
+            else (1.0 / self.speedup if self.speedup > 0 else math.inf)
+        )
+        lines.append(
+            f"candidate is {factor:.2f}x {verb} "
+            f"({self.latency.format(' ms')})"
+        )
+        lines.append("")
+        lines.append("model-level rollups:")
+        for metric, unit, spec in ROLLUP_METRICS:
+            delta = self.totals.get(metric)
+            if delta is not None:
+                lines.append(f"  {metric:<20} {delta.format(unit, spec)}")
+        added = self.layers_with_status("added")
+        removed = self.layers_with_status("removed")
+        if added or removed:
+            lines.append(
+                f"layer alignment: {len(self.layers_with_status('matched'))} "
+                f"matched, {len(added)} only in candidate, "
+                f"{len(removed)} only in baseline"
+            )
+        movers = sorted(
+            (l for l in self.layers if l.latency_ms.delta != 0),
+            key=lambda l: -abs(l.latency_ms.delta),
+        )[:max_layers]
+        if movers:
+            lines.append("")
+            lines.append(f"top layer movers (of {len(self.layers)} layers):")
+            for layer in movers:
+                lines.append(
+                    f"  [{layer.status:<7}] {layer.name:<32} "
+                    f"{layer.latency_ms.format(' ms')}"
+                )
+        shown = self.findings_above(min_severity)
+        lines.append("")
+        if shown:
+            lines.append("findings:")
+            lines.extend(f.render() for f in shown)
+        else:
+            lines.append("no findings at or above the requested severity")
+        hidden = len(self.findings) - len(shown)
+        if hidden:
+            lines.append(f"... ({hidden} below severity {min_severity:.2f})")
+        return "\n".join(lines)

@@ -21,6 +21,7 @@ from repro.models import get_model
 from repro.sim.memory import OutOfDeviceMemoryError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.diff.campaign import CampaignDiff
     from repro.insights.campaign import CampaignInsights
 
 
@@ -54,6 +55,25 @@ class CampaignResult:
 
     def __len__(self) -> int:
         return len(self.profiles)
+
+    def diff(self, other: "CampaignResult") -> "CampaignDiff":
+        """Grid-vs-grid A/B: ``self`` is the baseline, ``other`` the candidate.
+
+        Points are matched on their (model, system, framework, batch)
+        coordinates minus the comparison axis (a field constant within
+        each grid but different between them — e.g. framework vs
+        framework — is dropped from the key and reported as the axis).
+        OOM set differences are part of the result: a point that fits in
+        one grid but not the other is itself a finding.
+        """
+        from repro.analysis.diff.campaign import diff_campaigns
+
+        return diff_campaigns(
+            self.profiles,
+            other.profiles,
+            baseline_oom=self.out_of_memory,
+            candidate_oom=other.out_of_memory,
+        )
 
     def insights(self, *, severity_cutoff: float = 0.30) -> "CampaignInsights":
         """Roll the insight rules up across every profiled point.

@@ -6,6 +6,8 @@
     python -m repro experiments [--only fig10,table06] [--output EXPERIMENTS.md]
     python -m repro trace --model 7 --batch 16 --output trace.json [--chrome [out.json]]
     python -m repro advise --model 7 --batch 256 [--json]
+    python -m repro diff model=7,batch=256 model=7,batch=256,framework=mxnet_like
+    python -m repro diff old_profile.json new_trace.json --max-regression 0.10
 
 Everything runs on the simulated substrate in deterministic virtual time.
 """
@@ -106,6 +108,35 @@ def build_parser() -> argparse.ArgumentParser:
     adv_p.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="serve/persist the merged profile via this "
                        "on-disk store")
+
+    diff_p = sub.add_parser(
+        "diff",
+        help="differential analysis: what changed between two profiles",
+        description="Each side is either a saved JSON file (a profile-store "
+        "entry, a bare profile, or a `repro trace --output` capture) or "
+        "profile coordinates like model=7,batch=256[,system=S][,framework=F]"
+        "[,runs=N]. Coordinates are served from --cache-dir when warm and "
+        "profiled (then cached) otherwise.",
+    )
+    diff_p.add_argument("baseline", help="side A: JSON path or coordinates")
+    diff_p.add_argument("candidate", help="side B: JSON path or coordinates")
+    diff_p.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the machine-checkable JSON diff")
+    diff_p.add_argument("--min-severity", type=float, default=0.0,
+                        help="hide findings scoring below this (0-1)")
+    diff_p.add_argument("--max-regression", type=float, default=None,
+                        metavar="FRACTION",
+                        help="CI gate: exit 1 if the candidate's model "
+                        "latency regresses by more than this fraction "
+                        "(e.g. 0.10 = 10%%)")
+    diff_p.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="profile store consulted (and filled) when a "
+                        "side is given as coordinates")
+    diff_p.add_argument("--runs", type=int, default=3,
+                        help="repetitions per level when profiling a "
+                        "coordinate side (default 3, matching `repro "
+                        "profile` so --cache-dir entries are shared; "
+                        "override per side with runs=N in the spec)")
     return parser
 
 
@@ -246,6 +277,87 @@ def cmd_advise(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Coordinate-spec fields accepted by `repro diff` sides.
+_DIFF_COORDS = ("model", "batch", "system", "framework", "runs")
+
+
+def _parse_coordinates(spec: str) -> dict[str, str]:
+    """Parse "model=7,batch=256,..." into a field dict (ValueError if not)."""
+    fields: dict[str, str] = {}
+    for part in spec.split(","):
+        name, eq, value = part.partition("=")
+        if not eq or name.strip() not in _DIFF_COORDS or not value.strip():
+            raise ValueError(
+                f"bad coordinate {part!r} in {spec!r}; expected "
+                f"comma-separated {'/'.join(_DIFF_COORDS)}=VALUE pairs"
+            )
+        fields[name.strip()] = value.strip()
+    if "model" not in fields:
+        raise ValueError(f"coordinates {spec!r} need at least model=...")
+    return fields
+
+
+def _resolve_diff_side(spec: str, args: argparse.Namespace, store):
+    """One `repro diff` side: a JSON file on disk, else profile coordinates."""
+    import os
+
+    from repro.analysis.diff import load_profile_json
+
+    if os.path.isfile(spec):
+        return load_profile_json(spec)
+    if "=" not in spec:
+        raise ValueError(
+            f"{spec!r} is neither an existing JSON file nor a coordinate "
+            "spec like model=7,batch=256"
+        )
+    coords = _parse_coordinates(spec)
+    entry = get_model(_model_key(coords["model"]))
+    session = XSPSession(
+        coords.get("system", "Tesla_V100"),
+        coords.get("framework", "tensorflow_like"),
+    )
+    pipeline = AnalysisPipeline(
+        session,
+        runs_per_level=int(coords.get("runs", args.runs)),
+        store=store,
+    )
+    return pipeline.profile_model(entry.graph, int(coords.get("batch", 1)))
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    from repro.analysis.diff import diff_profiles
+
+    try:
+        store = _open_store(args.cache_dir)
+    except _StoreError:
+        return 2
+    try:
+        baseline = _resolve_diff_side(args.baseline, args, store)
+        candidate = _resolve_diff_side(args.candidate, args, store)
+    except (ValueError, OSError, KeyError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    diff = diff_profiles(baseline, candidate)
+    if args.as_json:
+        print(json.dumps(
+            diff.to_dict(min_severity=args.min_severity), indent=2
+        ))
+    else:
+        print(diff.render(min_severity=args.min_severity))
+    if (
+        args.max_regression is not None
+        and diff.regression_fraction > args.max_regression
+    ):
+        print(
+            f"FAILED: candidate regressed "
+            f"{100 * diff.regression_fraction:.1f}% "
+            f"(gate: {100 * args.max_regression:.1f}%)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "list-models": cmd_list_models,
     "profile": cmd_profile,
@@ -253,6 +365,7 @@ _COMMANDS = {
     "experiments": cmd_experiments,
     "trace": cmd_trace,
     "advise": cmd_advise,
+    "diff": cmd_diff,
 }
 
 

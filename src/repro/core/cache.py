@@ -231,18 +231,26 @@ class ProfileStore:
         return path
 
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every entry — and any ``*.tmp`` orphan a crashed
+        :meth:`put` left behind — returning the number removed."""
         removed = 0
-        for path in self.root.glob("*.json"):
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                pass
+        for pattern in ("*.json", "*.tmp"):
+            for path in self.root.glob(pattern):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
         return removed
 
     def entries(self) -> Iterator[Path]:
-        return iter(sorted(self.root.glob("*.json")))
+        """Committed entries only; in-flight/orphaned ``.tmp`` files are
+        never visible (the explicit filter guards against a future key
+        scheme whose names could make ``*.json`` match them)."""
+        return iter(sorted(
+            path for path in self.root.glob("*.json")
+            if not path.name.endswith(".tmp")
+        ))
 
     def __len__(self) -> int:
         return sum(1 for _ in self.entries())

@@ -31,8 +31,15 @@ def span_to_dict(span: Span) -> dict[str, Any]:
         "kind": span.kind.value,
         "correlation_id": span.correlation_id,
         "tags": {k: _jsonable(v) for k, v in span.tags.items()},
+        # Log fields take the same JSON-coercion path as tags: exotic
+        # values degrade to repr() instead of failing the whole export.
         "logs": [
-            {"timestamp_ns": entry.timestamp_ns, "fields": dict(entry.fields)}
+            {
+                "timestamp_ns": entry.timestamp_ns,
+                "fields": {
+                    str(k): _jsonable(v) for k, v in entry.fields.items()
+                },
+            }
             for entry in span.logs
         ],
     }
@@ -71,7 +78,11 @@ def trace_to_json(trace: Trace) -> str:
 
 def trace_from_json(document: str) -> Trace:
     """Reconstruct a trace from :func:`trace_to_json` output."""
-    data = json.loads(document)
+    return trace_from_dict(json.loads(document))
+
+
+def trace_from_dict(data: dict[str, Any]) -> Trace:
+    """Reconstruct a trace from an already-parsed JSON document."""
     version = data.get("format_version")
     if version != FORMAT_VERSION:
         raise ValueError(

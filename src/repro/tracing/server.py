@@ -22,6 +22,12 @@ class TracingServer:
         # Reentrant: publish() may open a trace on demand while holding it.
         self._lock = threading.RLock()
         self._traces: dict[int, Trace] = {}
+        #: Highest trace id ever ended.  Trace ids are a monotonic
+        #: process counter, so any id at/below this watermark that is no
+        #: longer live has been ended — late publishes to it are dropped
+        #: rather than resurrecting an orphan timeline, and the server
+        #: keeps O(1) state per lifecycle instead of a growing id set.
+        self._ended_watermark = 0
         self._active_trace_id: int | None = None
         self._subscribers: list[Callable[[Span], None]] = []
 
@@ -35,11 +41,19 @@ class TracingServer:
         return trace_id
 
     def end_trace(self, trace_id: int) -> Trace:
-        """Close a trace and return the aggregated timeline."""
+        """Close a trace and return the aggregated timeline.
+
+        The trace is evicted from the server — callers own the returned
+        timeline, and a long-lived server no longer accumulates every
+        trace it ever aggregated.  Ending an unknown (or already-ended)
+        trace raises ``KeyError``.
+        """
         with self._lock:
             if self._active_trace_id == trace_id:
                 self._active_trace_id = None
-            return self._traces[trace_id]
+            trace = self._traces.pop(trace_id)
+            self._ended_watermark = max(self._ended_watermark, trace_id)
+            return trace
 
     @property
     def active_trace_id(self) -> int | None:
@@ -47,9 +61,20 @@ class TracingServer:
 
     # -- publication ----------------------------------------------------------
     def publish(self, span: Span) -> None:
-        """Publish one span into the active trace (or its own ``trace_id``)."""
+        """Publish one span into the active trace (or its own ``trace_id``).
+
+        Spans addressed to an already-ended trace are dropped: the caller
+        owns that timeline now, and re-creating it here would leak an
+        orphan trace no one can retrieve.
+        """
         with self._lock:
             tid = span.trace_id or self._active_trace_id
+            if (
+                tid is not None
+                and tid <= self._ended_watermark
+                and tid not in self._traces
+            ):
+                return  # addressed to an ended trace
             if tid is None:
                 tid = self.begin_trace()
             trace = self._traces.setdefault(tid, Trace(trace_id=tid))
@@ -78,5 +103,11 @@ class TracingServer:
 
     def clear(self) -> None:
         with self._lock:
+            # Raise the watermark over every trace dropped here: ids are
+            # process-global, so spans addressed to pre-clear traces stay
+            # dropped, not revived as orphans.
+            self._ended_watermark = max(
+                [self._ended_watermark, *self._traces]
+            )
             self._traces.clear()
             self._active_trace_id = None

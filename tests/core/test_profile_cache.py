@@ -189,3 +189,28 @@ def test_context_consults_store_from_environment(tmp_path, monkeypatch):
     finally:
         monkeypatch.delenv(context.CACHE_ENV, raising=False)
         context.clear()
+
+
+def test_clear_sweeps_orphaned_tmp_files(graph, store):
+    """A crashed put() leaves <name>.json<rand>.tmp orphans; clear() must
+    sweep them while entries()/len keep excluding them."""
+    profile = _pipeline(store).profile_model(graph, BATCH)
+    entry = store.path_for(profile.model_name, profile.system,
+                           profile.framework, BATCH, RUNS)
+    orphan = store.root / (entry.name + "a1b2c3.tmp")
+    orphan.write_text('{"partial":')
+    assert len(store) == 1  # the orphan is not a visible entry
+    assert orphan not in list(store.entries())
+    assert store.clear() == 2  # the entry and the orphan
+    assert not orphan.exists()
+    assert list(store.entries()) == []
+
+
+def test_get_ignores_orphaned_tmp_files(graph, store):
+    """Lookups see only committed entries even with orphans present."""
+    profile = _pipeline(store).profile_model(graph, BATCH)
+    (store.root / "junk.json123.tmp").write_text("{")
+    warm = store.get(profile.model_name, profile.system, profile.framework,
+                     BATCH, RUNS)
+    assert warm is not None
+    assert warm.model_latency_ms == profile.model_latency_ms

@@ -16,3 +16,19 @@ def test_advisor_section_renders_markdown():
     # The across-stack rule families made it into the report.
     for rule in ("kernel-hotspot", "batch-scaling-knee", "memory-pressure"):
         assert rule in text
+
+
+def test_comparison_section_renders_markdown():
+    from repro.experiments.report import comparison_section
+
+    lines = comparison_section(
+        model="DeepLabv3_MobileNet_v2", batch=1
+    )
+    text = "\n".join(lines)
+    assert lines[0].startswith("## Differential analysis")
+    assert "`repro diff` output for DeepLabv3_MobileNet_v2" in text
+    assert "XSP diff: DeepLabv3_MobileNet_v2" in text
+    assert "tensorflow_like (baseline) vs mxnet_like (candidate)" in text
+    # Fenced code block is balanced for the markdown report.
+    assert text.count("```") == 2
+    assert "model-level rollups" in text

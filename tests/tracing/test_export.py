@@ -124,3 +124,22 @@ def test_trace_method_delegates_to_export():
     from repro.tracing.export import trace_to_chrome
 
     assert t.to_chrome_trace() == trace_to_chrome(t)
+
+
+def test_non_json_log_fields_export_via_jsonable():
+    """Regression: a span log carrying a non-JSON object (tags already
+    degraded via _jsonable; log fields crashed trace_to_json)."""
+
+    class Payload:
+        def __repr__(self):
+            return "Payload<7>"
+
+    t = Trace(trace_id=1)
+    span = Span("predict", 0, 10, Level.MODEL, span_id=1)
+    span.log(5, payload=Payload(), shape=(1, 2), ok=True)
+    t.add(span)
+    restored = trace_from_json(trace_to_json(t))  # must not raise
+    fields = restored.spans[0].logs[0].fields
+    assert fields["payload"] == "Payload<7>"
+    assert fields["shape"] == [1, 2]
+    assert fields["ok"] is True

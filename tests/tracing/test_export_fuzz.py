@@ -1,0 +1,131 @@
+"""Round-trip fuzz for the trace JSON export.
+
+Randomized traces with exotic tag/log values (objects, nested tuples,
+bytes, unicode names), random parent assignments, and every level/kind
+must survive ``trace_from_json(trace_to_json(t))`` with span ids,
+parents, and levels intact.  Values only need to *serialize* (exotic
+ones may degrade to ``repr``); identity and structure must be lossless.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.tracing import Level, Span, SpanKind, Trace
+from repro.tracing.export import trace_from_json, trace_to_json
+
+_NAMES = (
+    "predict",
+    "conv2d_тест",  # cyrillic
+    "カーネル",  # japanese
+    "Eigen::TensorCwiseBinaryOp<scalar_max_op<float>, const T1, T2>",
+    "layer/with/slashes and spaces",
+    "emoji🔥kernel",
+    "",  # empty name
+)
+
+
+@dataclasses.dataclass
+class _Opaque:
+    """A non-JSON value someone stuffed into tags/logs."""
+
+    x: int
+
+    def __repr__(self) -> str:
+        return f"Opaque(x={self.x})"
+
+
+def _exotic_value(rng: random.Random):
+    choices = (
+        lambda: rng.randint(-(1 << 40), 1 << 40),
+        lambda: rng.random() * 1e12,
+        lambda: rng.choice(_NAMES),
+        lambda: None,
+        lambda: rng.random() < 0.5,
+        lambda: (rng.randint(0, 9),) * rng.randint(0, 4),  # tuple shapes
+        lambda: [(1, 2), {"nested": (3, 4)}],
+        lambda: {"k": {"deep": (5, 6)}, 7: "int-key"},
+        lambda: _Opaque(rng.randint(0, 99)),
+        lambda: b"\x00raw-bytes",
+        lambda: float("inf"),
+    )
+    return rng.choice(choices)()
+
+
+def _random_trace(seed: int) -> Trace:
+    rng = random.Random(seed)
+    trace = Trace(
+        trace_id=rng.randint(1, 1 << 31),
+        metadata={"model": rng.choice(_NAMES), "weird": _exotic_value(rng)},
+    )
+    n = rng.randint(1, 40)
+    span_ids: list[int] = []
+    for i in range(n):
+        start = rng.randint(0, 10**9)
+        span = Span(
+            name=rng.choice(_NAMES),
+            start_ns=start,
+            end_ns=start + rng.randint(0, 10**6),
+            level=rng.choice(list(Level)),
+            span_id=1000 + i,
+            parent_id=rng.choice(span_ids) if span_ids and rng.random() < 0.7
+            else None,
+            kind=rng.choice(list(SpanKind)),
+            correlation_id=rng.randint(1, 99) if rng.random() < 0.5 else None,
+            tags={f"tag{j}": _exotic_value(rng) for j in range(rng.randint(0, 4))},
+        )
+        for _ in range(rng.randint(0, 3)):
+            span.log(
+                rng.randint(0, 10**9),
+                **{f"f{j}": _exotic_value(rng) for j in range(rng.randint(1, 3))},
+            )
+        trace.add(span)
+        span_ids.append(span.span_id)
+    return trace
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_round_trip_preserves_identity_and_structure(seed):
+    original = _random_trace(seed)
+    restored = trace_from_json(trace_to_json(original))
+
+    assert restored.trace_id == original.trace_id
+    assert len(restored) == len(original)
+    for a, b in zip(original.spans, restored.spans):
+        assert b.span_id == a.span_id
+        assert b.parent_id == a.parent_id
+        assert b.level is a.level
+        assert b.kind is a.kind
+        assert b.name == a.name
+        assert (b.start_ns, b.end_ns) == (a.start_ns, a.end_ns)
+        assert b.correlation_id == a.correlation_id
+        assert len(b.logs) == len(a.logs)
+        for la, lb in zip(a.logs, b.logs):
+            assert lb.timestamp_ns == la.timestamp_ns
+            assert set(lb.fields) == {str(k) for k in la.fields}
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_round_trip_is_stable(seed):
+    """Export of a restored trace is byte-identical (fixpoint after one
+    trip: exotic values have already degraded to their JSON forms)."""
+    once = trace_to_json(_random_trace(seed))
+    assert trace_to_json(trace_from_json(once)) == once
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_round_trip_preserves_hierarchy_queries(seed):
+    """Parent/child indexes built on the restored trace match the original."""
+    original = _random_trace(seed)
+    restored = trace_from_json(trace_to_json(original))
+    assert {s.span_id for s in restored.roots()} == {
+        s.span_id for s in original.roots()
+    }
+    for span in original.spans:
+        restored_span = restored.by_id()[span.span_id]
+        assert {c.span_id for c in restored.children_of(restored_span)} == {
+            c.span_id for c in original.children_of(span)
+        }

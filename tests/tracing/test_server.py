@@ -71,3 +71,83 @@ def test_clear():
     server.publish(_span("a"))
     server.clear()
     assert server.traces() == []
+
+
+def test_end_trace_evicts_finished_trace():
+    """A long-lived server must not grow without bound: ending a trace
+    removes it from the server while the caller keeps the timeline."""
+    server = TracingServer()
+    tid = server.begin_trace(model="m")
+    server.publish(_span("a"))
+    trace = server.end_trace(tid)
+    assert [s.name for s in trace.spans] == ["a"]  # caller owns the result
+    assert server.traces() == []  # server no longer holds it
+    try:
+        server.get_trace(tid)
+    except KeyError:
+        pass
+    else:  # pragma: no cover - regression guard
+        raise AssertionError("ended trace still retrievable")
+
+
+def test_get_trace_still_serves_open_traces():
+    server = TracingServer()
+    t1 = server.begin_trace()
+    t2 = server.begin_trace()
+    server.end_trace(t2)
+    assert server.get_trace(t1) is not None  # open trace unaffected
+    assert [t.trace_id for t in server.traces()] == [t1]
+
+
+def test_many_trace_lifecycles_leave_server_empty():
+    """The profile-many-models lifecycle: begin/publish/end N times."""
+    server = TracingServer()
+    for i in range(50):
+        tid = server.begin_trace(run=i)
+        server.publish(_span(f"s{i}"))
+        trace = server.end_trace(tid)
+        assert len(trace) == 1
+    assert server.traces() == []
+    assert server.active_trace_id is None
+
+
+def test_publish_after_end_is_dropped_not_resurrected():
+    """Regression: a late publish addressed to an ended trace must not
+    re-create an orphan timeline in the server (unbounded growth again)."""
+    server = TracingServer()
+    tid = server.begin_trace()
+    server.publish(_span("on-time"))
+    trace = server.end_trace(tid)
+    late = _span("late")
+    late.trace_id = tid
+    server.publish(late)
+    assert server.traces() == []  # nothing resurrected server-side
+    assert [s.name for s in trace.spans] == ["on-time"]
+
+
+def test_eviction_state_is_bounded_across_many_lifecycles():
+    """The leak fix must not swap trace growth for ended-id growth."""
+    server = TracingServer()
+    for i in range(200):
+        tid = server.begin_trace()
+        server.publish(_span(f"s{i}"))
+        server.end_trace(tid)
+    assert server.traces() == []
+    # O(1) bookkeeping: a single watermark int, not a per-trace id set.
+    assert isinstance(server._ended_watermark, int)
+    assert not any(
+        isinstance(v, (set, list, dict)) and len(v) >= 200
+        for v in vars(server).values()
+    )
+
+
+def test_publish_after_clear_is_dropped_too():
+    """clear() must not let late publishes revive cleared traces."""
+    server = TracingServer()
+    tid = server.begin_trace()
+    server.publish(_span("pre-clear"))
+    server.clear()
+    late = _span("late")
+    late.trace_id = tid
+    server.publish(late)
+    assert server.traces() == []
