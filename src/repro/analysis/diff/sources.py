@@ -21,6 +21,7 @@ from typing import Any
 from repro.core.pipeline import KernelProfile, LayerProfile, ModelProfile
 from repro.tracing.export import trace_from_dict
 from repro.tracing.span import Level, SpanKind
+from repro.tracing.table import _KIND_CODE, NONE_ID
 from repro.tracing.trace import Trace
 
 
@@ -31,54 +32,67 @@ def profile_from_trace(trace: Trace) -> ModelProfile:
     one run, so layer latencies carry the GPU-profiling overhead the
     leveled pipeline removes — good enough for diffing two traces
     captured the same way, not a substitute for the merged profile.
+
+    Consumes the trace's columnar storage directly (row partitions from
+    the index, read-only tag access) — no span objects are materialized.
     """
-    layer_spans = sorted(
-        trace.at_level(Level.LAYER),
-        key=lambda s: s.tags.get("layer_index", 0),
+    table = trace.table
+    index = trace.index
+    starts = table.start_ns
+    ends = table.end_ns
+    span_ids = table.span_id
+    parents = table.parent_id
+
+    layer_rows = sorted(
+        index.level_rows().get(Level.LAYER, []),
+        key=lambda row: table.peek_tags(row).get("layer_index", 0),
     )
     layers: list[LayerProfile] = []
     by_layer_span: dict[int, LayerProfile] = {}
-    for span in layer_spans:
+    for row in layer_rows:
+        tags = table.peek_tags(row)
         layer = LayerProfile(
-            index=int(span.tags.get("layer_index", len(layers))),
-            name=span.name,
-            layer_type=str(span.tags.get("layer_type", "unknown")),
-            shape=tuple(span.tags.get("shape", ())),
-            latency_ms=span.duration_ms,
-            alloc_bytes=int(span.tags.get("alloc_bytes", 0)),
+            index=int(tags.get("layer_index", len(layers))),
+            name=table.name_of(row),
+            layer_type=str(tags.get("layer_type", "unknown")),
+            shape=tuple(tags.get("shape", ())),
+            latency_ms=(ends[row] - starts[row]) / 1e6,
+            alloc_bytes=int(tags.get("alloc_bytes", 0)),
         )
         layers.append(layer)
-        by_layer_span[span.span_id] = layer
+        by_layer_span[span_ids[row]] = layer
     # Kernels hang off their layer span directly, or — when the library
     # level was captured — via an intermediate cuDNN/cuBLAS API span, so
     # resolve through the ancestor chain up to the enclosing layer.
-    by_id = trace.by_id()
+    row_by_id = index.row_by_id()
 
-    def enclosing_layer(span) -> LayerProfile | None:
+    def enclosing_layer(row: int) -> LayerProfile | None:
         seen: set[int] = set()
-        parent_id = span.parent_id
-        while parent_id is not None and parent_id not in seen:
+        parent_id = parents[row]
+        while parent_id != NONE_ID and parent_id not in seen:
             layer = by_layer_span.get(parent_id)
             if layer is not None:
                 return layer
             seen.add(parent_id)
-            parent = by_id.get(parent_id)
-            parent_id = parent.parent_id if parent is not None else None
+            parent_row = row_by_id.get(parent_id)
+            parent_id = parents[parent_row] if parent_row is not None else NONE_ID
         return None
 
-    for span in trace.at_level(Level.GPU_KERNEL):
-        if span.kind != SpanKind.EXECUTION:
+    execution_code = _KIND_CODE[SpanKind.EXECUTION]
+    kinds = table.kind
+    for row in index.level_rows().get(Level.GPU_KERNEL, []):
+        if kinds[row] != execution_code:
             continue
-        layer = enclosing_layer(span)
+        layer = enclosing_layer(row)
         if layer is None:
             continue  # kernel outside any layer span
-        tags = span.tags
+        tags = table.peek_tags(row)
         layer.kernels.append(
             KernelProfile(
-                name=span.name,
+                name=table.name_of(row),
                 layer_index=layer.index,
                 position=len(layer.kernels),
-                latency_ms=span.duration_ms,
+                latency_ms=(ends[row] - starts[row]) / 1e6,
                 flops=float(tags.get("metric.flop_count_sp", 0.0)),
                 dram_read_bytes=float(tags.get("metric.dram_read_bytes", 0.0)),
                 dram_write_bytes=float(

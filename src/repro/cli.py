@@ -90,6 +90,9 @@ def build_parser() -> argparse.ArgumentParser:
                          "--output receives the Chrome format instead")
     trace_p.add_argument("--library-level", action="store_true",
                          help="include cuDNN API-call spans (Sec. III-E)")
+    trace_p.add_argument("--stats", action="store_true",
+                         help="print span count, per-level/kind breakdown, "
+                         "and the capture's estimated resident bytes")
 
     adv_p = sub.add_parser("advise",
                            help="rule-based across-stack bottleneck insights")
@@ -217,12 +220,41 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_trace_stats(trace) -> None:
+    """Span count, per-level/kind breakdown, estimated resident bytes.
+
+    Served entirely by the trace's columnar storage: the level/kind row
+    partitions come from the index and the byte estimate from
+    ``SpanTable.nbytes`` — no span objects are materialized.
+    """
+    index = trace.index
+    print(f"spans:     {len(trace)}")
+    print("per level: " + ", ".join(
+        f"{level.name}={len(rows)}"
+        for level, rows in sorted(index.level_rows().items())
+    ))
+    print("per kind:  " + ", ".join(
+        f"{kind.value}={len(rows)}"
+        for kind, rows in sorted(
+            index.kind_rows().items(), key=lambda kv: kv[0].value
+        )
+    ))
+    nbytes = trace.table.nbytes
+    print(f"resident:  ~{nbytes} bytes ({nbytes / 1e6:.2f} MB columnar)")
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     from repro.tracing.export import trace_to_chrome
 
     chrome_path = args.output if args.chrome == "" else args.chrome
-    if args.output is None and not chrome_path:
-        print("error: trace needs --output and/or --chrome OUT",
+    if args.chrome == "" and args.output is None:
+        # A bare --chrome redirects --output; without one there is
+        # nowhere to write the requested Chrome trace (--stats does not
+        # change that).
+        print("error: --chrome without OUT needs --output", file=sys.stderr)
+        return 2
+    if args.output is None and not chrome_path and not args.stats:
+        print("error: trace needs --output, --chrome OUT, and/or --stats",
               file=sys.stderr)
         return 2
     entry = get_model(args.model)
@@ -238,8 +270,11 @@ def cmd_trace(args: argparse.Namespace) -> int:
         with open(chrome_path, "w") as fh:
             fh.write(trace_to_chrome(run.trace))
         written.append(chrome_path)
+    destinations = f" -> {', '.join(written)}" if written else ""
     print(f"captured {len(run.trace)} spans "
-          f"({len(run.kernels)} kernels) -> {', '.join(written)}")
+          f"({len(run.kernels)} kernels){destinations}")
+    if args.stats:
+        _print_trace_stats(run.trace)
     return 0
 
 

@@ -14,7 +14,7 @@ extensibility.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Iterable
 
 from repro.sim.cuda import KernelLaunchRecord
 from repro.sim.kernels import KernelClass
@@ -52,8 +52,12 @@ def api_name_for(record: KernelLaunchRecord) -> str:
 class LibraryTracer(BufferingTracer):
     """Tracer synthesizing library-API spans from kernel launch records."""
 
-    def __init__(self, sink: Callable[[Span], None] | None = None) -> None:
-        super().__init__("library_tracer", Level.LIBRARY, sink)
+    def __init__(
+        self,
+        sink: Callable[[Span], None] | None = None,
+        batch_sink: Callable[[Iterable[Span]], None] | None = None,
+    ) -> None:
+        super().__init__("library_tracer", Level.LIBRARY, sink, batch_sink)
 
     def convert(self, launch_records: list[KernelLaunchRecord]) -> list[Span]:
         """One span per maximal run of launches belonging to the same API
@@ -71,19 +75,19 @@ class LibraryTracer(BufferingTracer):
             if not group:
                 return
             api = api_name_for(group[0])
-            span = Span(
-                name=api,
-                start_ns=group[0].api_start_ns,
-                end_ns=group[-1].api_end_ns,
-                level=Level.LIBRARY,
-                tags={
-                    "library": str(group[0].spec.tags.get("library", "")),
-                    "n_kernels": len(group),
-                    "layer_index": group[0].spec.tags.get("layer_index"),
-                },
+            spans.append(
+                Span(
+                    name=api,
+                    start_ns=group[0].api_start_ns,
+                    end_ns=group[-1].api_end_ns,
+                    level=Level.LIBRARY,
+                    tags={
+                        "library": str(group[0].spec.tags.get("library", "")),
+                        "n_kernels": len(group),
+                        "layer_index": group[0].spec.tags.get("layer_index"),
+                    },
+                )
             )
-            self.publish(span)
-            spans.append(span)
 
         for record in launch_records:
             key = (
@@ -96,4 +100,4 @@ class LibraryTracer(BufferingTracer):
                 group_key = key
             group.append(record)
         flush()
-        return spans
+        return self.publish_many(spans)

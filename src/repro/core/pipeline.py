@@ -10,6 +10,7 @@ measurements with a trimmed mean (paper Sec. III-D).  Its output is a
 
 from __future__ import annotations
 
+import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -20,6 +21,7 @@ from repro.core.session import ProfiledRun, ProfilingConfig, XSPSession
 from repro.core.stats import Statistic, trimmed_mean
 from repro.frameworks.graph import Graph
 from repro.sim.hardware import GPUSpec, get_system
+from repro.tracing.span import seed_span_ids
 
 if TYPE_CHECKING:  # pragma: no cover - cache imports pipeline, not vice versa
     from repro.core.cache import ProfileStore
@@ -214,6 +216,17 @@ def _statistic_name(statistic: Statistic) -> str:
     return getattr(statistic, "__qualname__", None) or repr(statistic)
 
 
+def _seed_worker_span_ids() -> None:
+    """ProcessPoolExecutor initializer: give this worker its own id range.
+
+    Workers inherit a fresh module state, so every worker's span counter
+    would restart at 1 and spans profiled by different workers would
+    share ids.  Seeding from the worker's pid puts each worker in a
+    disjoint range (see :func:`repro.tracing.span.seed_span_ids`).
+    """
+    seed_span_ids(os.getpid())
+
+
 def _sweep_worker(
     args: tuple[GPUSpec, str, int, Statistic, Graph, int],
 ) -> tuple[int, ModelProfile]:
@@ -307,7 +320,8 @@ class AnalysisPipeline:
         computed: dict[int, ModelProfile] = {}
         if missing:
             with ProcessPoolExecutor(
-                max_workers=min(max_workers or len(missing), len(missing))
+                max_workers=min(max_workers or len(missing), len(missing)),
+                initializer=_seed_worker_span_ids,
             ) as executor:
                 for batch, profile in executor.map(
                     _sweep_worker, [spec + (b,) for b in missing]

@@ -18,26 +18,33 @@ offline via the interval tree (:func:`repro.tracing.correlation.reconstruct_pare
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any, Callable, Iterable
 
 from repro.frameworks.profiler_format import PARSERS
 from repro.sim.cupti import ActivityRecord, ApiRecord
 from repro.tracing.span import Level, Span, SpanKind
 from repro.tracing.tracer import BufferingTracer
 
+_Sink = Callable[[Span], None]
+_BatchSink = Callable[[Iterable[Span]], None]
+
 
 class ModelTracer(BufferingTracer):
     """Tracer for user-code (model-level) spans."""
 
-    def __init__(self, sink: Callable[[Span], None] | None = None) -> None:
-        super().__init__("model_tracer", Level.MODEL, sink)
+    def __init__(
+        self, sink: _Sink | None = None, batch_sink: _BatchSink | None = None
+    ) -> None:
+        super().__init__("model_tracer", Level.MODEL, sink, batch_sink)
 
 
 class LayerTracer(BufferingTracer):
     """Tracer converting framework-native layer profiles into spans."""
 
-    def __init__(self, sink: Callable[[Span], None] | None = None) -> None:
-        super().__init__("layer_tracer", Level.LAYER, sink)
+    def __init__(
+        self, sink: _Sink | None = None, batch_sink: _BatchSink | None = None
+    ) -> None:
+        super().__init__("layer_tracer", Level.LAYER, sink, batch_sink)
 
     def convert(
         self,
@@ -57,9 +64,8 @@ class LayerTracer(BufferingTracer):
                 f"no profile parser registered for framework {framework_name!r}; "
                 f"known: {sorted(PARSERS)}"
             ) from None
-        spans: list[Span] = []
-        for record in parser(native_profile):
-            span = Span(
+        return self.publish_many(
+            Span(
                 name=record.name,
                 start_ns=record.start_ns,
                 end_ns=record.end_ns,
@@ -72,64 +78,65 @@ class LayerTracer(BufferingTracer):
                     "alloc_bytes": record.alloc_bytes,
                 },
             )
-            self.publish(span)
-            spans.append(span)
-        return spans
+            for record in parser(native_profile)
+        )
 
 
 class GpuTracer(BufferingTracer):
     """Tracer converting CUPTI callback/activity records into spans."""
 
-    def __init__(self, sink: Callable[[Span], None] | None = None) -> None:
-        super().__init__("gpu_tracer", Level.GPU_KERNEL, sink)
+    def __init__(
+        self, sink: _Sink | None = None, batch_sink: _BatchSink | None = None
+    ) -> None:
+        super().__init__("gpu_tracer", Level.GPU_KERNEL, sink, batch_sink)
 
     def convert(
         self,
         api_records: list[ApiRecord],
         activity_records: list[ActivityRecord],
     ) -> list[Span]:
-        """Publish a launch span per API record, an execution span per activity."""
-        spans: list[Span] = []
+        """Publish a launch span per API record, an execution span per
+        activity — the kernel-dominated bulk of a capture, delivered as
+        one batch."""
         activity_names = {
             a.correlation_id: a.name
             for a in activity_records
             if a.kind == "kernel"
         }
-        for api in api_records:
-            span = Span(
-                # Label the launch with the launched kernel when known.
-                name=activity_names.get(api.correlation_id, api.name),
-                start_ns=api.start_ns,
-                end_ns=api.end_ns,
-                level=Level.GPU_KERNEL,
-                kind=SpanKind.LAUNCH,
-                correlation_id=api.correlation_id,
-                tags={"api": api.name},
-            )
-            self.publish(span)
-            spans.append(span)
-        for act in activity_records:
-            tags: dict[str, Any] = {
-                "stream_id": act.stream_id,
-                "grid": act.grid,
-                "block": act.block,
-                "activity_kind": act.kind,
-            }
-            for metric, value in act.metrics.items():
-                tags[f"metric.{metric}"] = value
-            span = Span(
-                name=act.name,
-                start_ns=act.start_ns,
-                end_ns=act.end_ns,
-                level=Level.GPU_KERNEL,
-                # Memory copies are synchronous host-visible activities;
-                # kernels are the async launch/execution pairs.
-                kind=(SpanKind.EXECUTION if act.kind == "kernel"
-                      else SpanKind.INTERNAL),
-                correlation_id=(act.correlation_id if act.kind == "kernel"
-                                else None),
-                tags=tags,
-            )
-            self.publish(span)
-            spans.append(span)
-        return spans
+
+        def spans():
+            for api in api_records:
+                yield Span(
+                    # Label the launch with the launched kernel when known.
+                    name=activity_names.get(api.correlation_id, api.name),
+                    start_ns=api.start_ns,
+                    end_ns=api.end_ns,
+                    level=Level.GPU_KERNEL,
+                    kind=SpanKind.LAUNCH,
+                    correlation_id=api.correlation_id,
+                    tags={"api": api.name},
+                )
+            for act in activity_records:
+                tags: dict[str, Any] = {
+                    "stream_id": act.stream_id,
+                    "grid": act.grid,
+                    "block": act.block,
+                    "activity_kind": act.kind,
+                }
+                for metric, value in act.metrics.items():
+                    tags[f"metric.{metric}"] = value
+                yield Span(
+                    name=act.name,
+                    start_ns=act.start_ns,
+                    end_ns=act.end_ns,
+                    level=Level.GPU_KERNEL,
+                    # Memory copies are synchronous host-visible activities;
+                    # kernels are the async launch/execution pairs.
+                    kind=(SpanKind.EXECUTION if act.kind == "kernel"
+                          else SpanKind.INTERNAL),
+                    correlation_id=(act.correlation_id if act.kind == "kernel"
+                                    else None),
+                    tags=tags,
+                )
+
+        return self.publish_many(spans())

@@ -125,11 +125,16 @@ class ProfiledRun:
     def kernels_by_layer(self) -> dict[int, list[MergedKernel]]:
         """Merged kernels grouped by layer index (via reconstructed parents)."""
         if self._kernels_by_layer is None:
-            by_span_id = self.trace.index.by_id()
+            by_row = self.trace.index.row_by_id()
+            table = self.trace.table
             grouped: dict[int, list[MergedKernel]] = {}
             for mk in self.kernels:
-                parent = by_span_id.get(mk.parent_id) if mk.parent_id else None
-                idx = parent.tags.get("layer_index", -1) if parent else -1
+                row = by_row.get(mk.parent_id) if mk.parent_id else None
+                idx = (
+                    table.peek_tags(row).get("layer_index", -1)
+                    if row is not None
+                    else -1
+                )
                 grouped.setdefault(idx, []).append(mk)
             self._kernels_by_layer = grouped
         # Copy the buckets too: callers may sort/extend them in place.
@@ -215,9 +220,10 @@ class XSPSession:
             batch=batch,
             levels=config.levels.label,
         )
+        publish_many = self.server.publish_many
         model_tracer = ModelTracer(self.server.publish)
-        layer_tracer = LayerTracer(self.server.publish)
-        gpu_tracer = GpuTracer(self.server.publish)
+        layer_tracer = LayerTracer(self.server.publish, publish_many)
+        gpu_tracer = GpuTracer(self.server.publish, publish_many)
 
         # -- the model-level evaluation pipeline -------------------------------
         pre = start_span(model_tracer, clock.now, "input_preprocess", batch=batch)
@@ -243,7 +249,9 @@ class XSPSession:
         if Level.LIBRARY in config.levels:
             # Sec. III-E extension: cuDNN/cuBLAS API-call spans between the
             # layer and GPU-kernel levels, synthesized from launch records.
-            library_tracer = LibraryTracer(self.server.publish)
+            library_tracer = LibraryTracer(
+                self.server.publish, self.server.publish_many
+            )
             library_tracer.convert(runtime.launch_records)
 
         trace = self.server.end_trace(trace_id)
@@ -284,24 +292,14 @@ class XSPSession:
         runs: list[ProfiledRun] = []
         trace_id = self.server.begin_trace(application=name)
         app_trace = self.server.get_trace(trace_id)
+        # First pass: run the evaluations and lay them out on the
+        # application timeline (per-run shift = cursor - its extent start).
+        offsets: list[int] = []
         cursor = 0
-        spans_to_add: list[Span] = []
         for graph, batch in workload:
             run = self.profile(graph, batch, config)
             lo, hi = run.trace.span_extent_ns()
-            for span in run.trace.spans:
-                shifted = Span(
-                    name=span.name,
-                    start_ns=span.start_ns - lo + cursor,
-                    end_ns=span.end_ns - lo + cursor,
-                    level=span.level,
-                    span_id=span.span_id,
-                    parent_id=span.parent_id,
-                    kind=span.kind,
-                    correlation_id=span.correlation_id,
-                    tags=dict(span.tags, model=graph.name),
-                )
-                spans_to_add.append(shifted)
+            offsets.append(cursor - lo)
             cursor += (hi - lo) + 1_000  # 1 us gap between evaluations
             runs.append(run)
         app_span = Span(
@@ -312,10 +310,28 @@ class XSPSession:
             tags={"evaluations": len(workload)},
         )
         app_trace.add(app_span)
-        for span in spans_to_add:
-            if span.parent_id is None and span.level == Level.MODEL:
-                span.parent_id = app_span.span_id
-            app_trace.add(span)
+        # Second pass: re-publish each run's rows, time-shifted, straight
+        # from its columnar table into the application trace — no
+        # intermediate span list.
+        model_code = int(Level.MODEL)
+        for (graph, _batch), run, offset in zip(workload, runs, offsets):
+            table = run.trace.table
+            levels = table.level
+            for row in range(len(table)):
+                parent_id = table.parent_id_of(row)
+                if parent_id is None and levels[row] == model_code:
+                    parent_id = app_span.span_id
+                app_trace.add_row(
+                    name=table.name_of(row),
+                    start_ns=table.start_ns[row] + offset,
+                    end_ns=table.end_ns[row] + offset,
+                    level=levels[row],
+                    span_id=table.span_id[row],
+                    parent_id=parent_id,
+                    kind=table.kind[row],
+                    correlation_id=table.correlation_id_of(row),
+                    tags=dict(table.peek_tags(row), model=graph.name),
+                )
         self.server.end_trace(trace_id)
         return app_trace, runs
 

@@ -58,20 +58,20 @@ def _kernel_layers(kernels: list[KernelProfile], limit: int = 10) -> tuple[int, 
 def gpu_idle_bubbles(ctx: InsightContext) -> list[Insight]:
     trace = ctx.trace
     assert trace is not None  # guaranteed by requires
+    # Column-level queries only: the device timeline's extent and its
+    # bubbles come straight from the trace index — no span objects.
+    index = trace.index
     kind: SpanKind | None = SpanKind.EXECUTION
-    spans = [
-        s for s in trace.index.by_level().get(Level.GPU_KERNEL, ())
-        if s.kind == kind
-    ]
-    if not spans:
+    extent = index.level_extent_ns(Level.GPU_KERNEL, kind)
+    if extent is None:
         # Traces captured without launch/execution splitting still have
         # a device timeline worth inspecting.
         kind = None
-        spans = list(trace.index.by_level().get(Level.GPU_KERNEL, ()))
-    if not spans:
+        extent = index.level_extent_ns(Level.GPU_KERNEL, kind)
+    if extent is None:
         return []
     gaps = trace.gaps(Level.GPU_KERNEL, kind)
-    extent_ns = max(s.end_ns for s in spans) - min(s.start_ns for s in spans)
+    extent_ns = extent[1] - extent[0]
     if extent_ns <= 0:
         return []
     idle_ns = sum(g.duration_ns for g in gaps)

@@ -15,8 +15,10 @@ from repro.tracing.span import (
     SpanKind,
     new_span_id,
     new_trace_id,
+    seed_span_ids,
 )
 from repro.tracing.index import Gap, TraceIndex
+from repro.tracing.table import SpanTable, SpanView
 from repro.tracing.tracer import BufferingTracer, NoopTracer, Tracer
 from repro.tracing.server import TracingServer
 from repro.tracing.trace import Trace
@@ -40,6 +42,8 @@ __all__ = [
     "NoopTracer",
     "Span",
     "SpanKind",
+    "SpanTable",
+    "SpanView",
     "Trace",
     "TraceIndex",
     "Tracer",
@@ -48,4 +52,5 @@ __all__ = [
     "new_span_id",
     "new_trace_id",
     "reconstruct_parents",
+    "seed_span_ids",
 ]

@@ -16,17 +16,27 @@ Two reconstruction problems are solved here, following paper Sec. III-A/B:
    the launch span (the launch happens inside the layer; the execution may
    complete after the layer returns) and its performance information from
    the execution span.
+
+Both engines consume the trace's columnar storage directly — row indices
+over ``(start_ns, end_ns, level, kind, parent_id)`` columns snapshotted
+as plain lists — and write assignments back into the ``parent_id``
+column.  Span objects are materialized only at the error/reporting
+boundary (:class:`AmbiguousParentError`, ``CorrelationResult.ambiguous``).
 """
 
 from __future__ import annotations
 
 from collections import defaultdict, deque
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, List
 
 from repro.tracing.interval_tree import Interval, IntervalTree
 from repro.tracing.span import Level, Span, SpanKind
+from repro.tracing.table import _KIND_CODE, NONE_ID, SpanTable, SpanView
 from repro.tracing.trace import Trace
+
+_EXECUTION_CODE = _KIND_CODE[SpanKind.EXECUTION]
+_LAUNCH_CODE = _KIND_CODE[SpanKind.LAUNCH]
 
 
 class AmbiguousParentError(RuntimeError):
@@ -37,7 +47,7 @@ class AmbiguousParentError(RuntimeError):
     ``OMP_NUM_THREADS=1`` for OpenMP).
     """
 
-    def __init__(self, span: Span, candidates: list[Span]) -> None:
+    def __init__(self, span, candidates: list) -> None:
         self.span = span
         self.candidates = candidates
         names = ", ".join(c.name for c in candidates[:4])
@@ -55,8 +65,8 @@ class MergedKernel:
 
     name: str
     correlation_id: int
-    launch: Span
-    execution: Span
+    launch: SpanView
+    execution: SpanView
     parent_id: int | None
 
     @property
@@ -69,7 +79,7 @@ class MergedKernel:
         """GPU metrics are attached as metadata on the execution span."""
         return {
             k: v
-            for k, v in self.execution.tags.items()
+            for k, v in self.execution.iter_tags()
             if k.startswith("metric.")
         }
 
@@ -82,7 +92,7 @@ class CorrelationResult:
     #: span_id -> assigned parent span_id (only for spans assigned here)
     assigned: dict[int, int] = field(default_factory=dict)
     #: spans whose parentage was ambiguous (when ``strict=False``)
-    ambiguous: list[Span] = field(default_factory=list)
+    ambiguous: list[SpanView] = field(default_factory=list)
 
     @property
     def needs_serialized_rerun(self) -> bool:
@@ -95,44 +105,52 @@ def correlate_launch_execution(trace: Trace) -> list[MergedKernel]:
     Execution spans inherit the launch span's parent, mirroring how XSP
     "uses the launch span's parent as the parent of the asynchronous
     function and uses the execution span to get the performance
-    information".
+    information".  One pass over the correlation-id/kind columns; no
+    intermediate span lists.
     """
-    launches: dict[int, Span] = {}
-    executions: dict[int, Span] = {}
-    for s in trace.spans:
-        if s.correlation_id is None:
+    table = trace.table
+    corr = table.correlation_id
+    kinds = table.kind
+    launches: dict[int, int] = {}
+    executions: dict[int, int] = {}
+    for row in range(len(table)):
+        cid = corr[row]
+        if cid == NONE_ID:
             continue
-        if s.kind == SpanKind.LAUNCH:
-            if s.correlation_id in launches:
+        code = kinds[row]
+        if code == _LAUNCH_CODE:
+            if cid in launches:
                 raise ValueError(
-                    f"duplicate launch span for correlation_id={s.correlation_id}"
+                    f"duplicate launch span for correlation_id={cid}"
                 )
-            launches[s.correlation_id] = s
-        elif s.kind == SpanKind.EXECUTION:
-            if s.correlation_id in executions:
+            launches[cid] = row
+        elif code == _EXECUTION_CODE:
+            if cid in executions:
                 raise ValueError(
-                    f"duplicate execution span for correlation_id={s.correlation_id}"
+                    f"duplicate execution span for correlation_id={cid}"
                 )
-            executions[s.correlation_id] = s
+            executions[cid] = row
 
+    parents = table.parent_id
     merged: list[MergedKernel] = []
-    for cid, launch in sorted(launches.items()):
-        execution = executions.get(cid)
-        if execution is None:
+    for cid, launch_row in sorted(launches.items()):
+        execution_row = executions.get(cid)
+        if execution_row is None:
             # Launch captured but activity record lost: skip (CUPTI permits this).
             continue
+        launch_parent = parents[launch_row]
         merged.append(
             MergedKernel(
-                name=execution.name,
+                name=table.name_of(execution_row),
                 correlation_id=cid,
-                launch=launch,
-                execution=execution,
-                parent_id=launch.parent_id,
+                launch=SpanView(table, launch_row),
+                execution=SpanView(table, execution_row),
+                parent_id=None if launch_parent == NONE_ID else launch_parent,
             )
         )
         # Propagate parent onto the execution span for downstream queries.
-        if execution.parent_id is None and launch.parent_id is not None:
-            execution.parent_id = launch.parent_id
+        if parents[execution_row] == NONE_ID and launch_parent != NONE_ID:
+            parents[execution_row] = launch_parent
     trace.touch_parents()
     return merged
 
@@ -194,47 +212,64 @@ def _reconstruct_tree(
     trace: Trace, *, strict: bool, result: CorrelationResult
 ) -> None:
     """Reference engine: per-orphan containment queries on interval trees."""
-    levels = trace.levels_present()
+    index = trace.index
+    table = trace.table
+    levels = index.levels_present()
     parent_of_level = _parent_level_map(levels)
+    starts = table.start_ns
+    ends = table.end_ns
+    kinds = table.kind
+    parents = table.parent_id
+    level_codes = table.level
+    span_ids = table.span_id
 
-    trees: dict[Level, IntervalTree[Span]] = {}
+    trees: dict[Level, IntervalTree[int]] = {}
     for lvl in levels:
         trees[lvl] = IntervalTree(
-            Interval(s.start_ns, s.end_ns, s) for s in trace.at_level(lvl)
+            Interval(starts[row], ends[row], row)
+            for row in index.level_rows().get(lvl, ())
         )
+    parent_code_of: dict[int, int | None] = {
+        int(lvl): (None if up is None else int(up))
+        for lvl, up in parent_of_level.items()
+    }
+    level_by_code = {int(lvl): lvl for lvl in levels}
 
-    for span in trace.sorted_spans():
-        if span.parent_id is not None:
+    for row in index.rows_sorted():
+        if parents[row] != NONE_ID:
             continue
-        if span.kind == SpanKind.EXECUTION:
+        if kinds[row] == _EXECUTION_CODE:
             continue  # handled by launch/execution correlation
-        target_level = parent_of_level.get(span.level)
-        if target_level is None:
+        target_code = parent_code_of.get(level_codes[row])
+        if target_code is None:
             continue  # top-of-stack spans legitimately have no parent
         candidates = [
             iv.data
-            for iv in trees[target_level].containing(
-                Interval(span.start_ns, span.end_ns)
+            for iv in trees[level_by_code[target_code]].containing(
+                Interval(starts[row], ends[row])
             )
-            if iv.data.span_id != span.span_id
+            if iv.data != row
         ]
         if not candidates:
             continue
-        chosen = _choose_parent(span, candidates, strict=strict, result=result)
+        chosen = _choose_parent(
+            table, row, candidates, strict=strict, result=result
+        )
         if chosen is not None:
-            span.parent_id = chosen.span_id
-            result.assigned[span.span_id] = chosen.span_id
+            chosen_id = span_ids[chosen]
+            parents[row] = chosen_id
+            result.assigned[span_ids[row]] = chosen_id
 
 
 def _reconstruct_sweep(
     trace: Trace, *, strict: bool, result: CorrelationResult
 ) -> None:
-    """Hot-path engine: one sweep over start-sorted spans.
+    """Hot-path engine: one sweep over start-sorted rows.
 
     For each present level the sweep keeps an *active-parent stack*: the
-    spans at that level whose interval is still open at the sweep
+    rows at that level whose interval is still open at the sweep
     position, pushed in start order.  When an orphan at level ``c`` is
-    processed, every level-``parent_of[c]`` span starting at or before the
+    processed, every level-``parent_of[c]`` row starting at or before the
     orphan has been admitted to that level's stack, expired entries
     (ending before the orphan starts) have been popped, and the orphan's
     candidate parents are exactly the stack entries whose end reaches the
@@ -246,100 +281,132 @@ def _reconstruct_sweep(
     expire from the front, nested spans (ends decreasing) from the back.
     Non-monotonic overlap patterns can strand dead entries in the
     interior; the candidate scan counts them and compacts the deque the
-    moment it sees one, so each span is swept out at most once and the
+    moment it sees one, so each row is swept out at most once and the
     stack never holds more than the true concurrent-overlap depth for
     long.  Stranded entries are harmless for correctness meanwhile — a
     candidate needs ``end >= orphan.end`` while expiry means
     ``end < orphan.start``.
+
+    All interval data is snapshotted into plain lists up front (boxed
+    once, O(n)); the sweep itself is pure list indexing.
     """
     index = trace.index
+    table = trace.table
     levels = index.levels_present()
     parent_of_level = _parent_level_map(levels)
 
-    # Per-level admission cursor into the level's start-sorted span array.
+    # Columns snapshotted as lists: each value boxed exactly once.  The
+    # parent column is written through `parents_col` as rows are
+    # assigned; the snapshot stays valid because each orphan row is
+    # visited once and only ever assigns to itself.
+    starts = table.start_ns.tolist()
+    ends = table.end_ns.tolist()
+    kinds = table.kind.tolist()
+    level_codes = table.level.tolist()
+    span_ids = table.span_id.tolist()
+    parents = table.parent_id.tolist()
+    parents_col = table.parent_id
+
+    # Per-level admission cursor into the level's start-sorted row array.
     # Only levels that can actually parent something are materialized (the
     # deepest level's bucket — usually the kernel-dominated bulk of the
     # trace — never needs sorting).
     parent_levels = {lvl for lvl in parent_of_level.values() if lvl is not None}
-    cursors: dict[Level, int] = {lvl: 0 for lvl in parent_levels}
-    actives: dict[Level, deque[Span]] = {lvl: deque() for lvl in parent_levels}
-    arrays: dict[Level, list[Span]] = {
-        lvl: index.level_sorted(lvl) for lvl in parent_levels
+    cursors: dict[int, int] = {int(lvl): 0 for lvl in parent_levels}
+    actives: dict[int, deque[int]] = {int(lvl): deque() for lvl in parent_levels}
+    arrays: dict[int, list[int]] = {
+        int(lvl): index.level_rows_sorted(lvl) for lvl in parent_levels
+    }
+    parent_code_of: dict[int, int | None] = {
+        int(lvl): (None if up is None else int(up))
+        for lvl, up in parent_of_level.items()
     }
 
-    for span in index.sorted_spans():
-        if span.parent_id is not None:
+    for row in index.rows_sorted():
+        if parents[row] != NONE_ID:
             continue
-        if span.kind == SpanKind.EXECUTION:
+        if kinds[row] == _EXECUTION_CODE:
             continue  # handled by launch/execution correlation
-        target_level = parent_of_level.get(span.level)
-        if target_level is None:
+        target = parent_code_of.get(level_codes[row])
+        if target is None:
             continue  # top-of-stack spans legitimately have no parent
-        start = span.start_ns
-        end = span.end_ns
+        start = starts[row]
+        end = ends[row]
         # Admit parents whose interval can reach back to this orphan.  The
         # cursor is independent of the global sweep position so that a
         # parent sharing the orphan's (start, -duration) sort key is
         # admitted regardless of tie-break order.
-        arr = arrays[target_level]
-        cur = cursors[target_level]
-        active = actives[target_level]
+        arr = arrays[target]
+        cur = cursors[target]
+        active = actives[target]
         n = len(arr)
-        while cur < n and arr[cur].start_ns <= start:
+        while cur < n and starts[arr[cur]] <= start:
             active.append(arr[cur])
             cur += 1
-        cursors[target_level] = cur
+        cursors[target] = cur
         # Expire parents that ended before this orphan started.
-        while active and active[0].end_ns < start:
+        while active and ends[active[0]] < start:
             active.popleft()
-        while active and active[-1].end_ns < start:
+        while active and ends[active[-1]] < start:
             active.pop()
         if not active:
             continue
-        span_id = span.span_id
         candidates = []
         stranded = 0
         for p in active:
-            p_end = p.end_ns
+            p_end = ends[p]
             if p_end < start:
                 stranded += 1
-            elif p_end >= end and p.span_id != span_id:
+            elif p_end >= end and p != row:
                 candidates.append(p)
         if stranded:
-            actives[target_level] = deque(
-                p for p in active if p.end_ns >= start
-            )
+            actives[target] = deque(p for p in active if ends[p] >= start)
         if not candidates:
             continue
-        chosen = _choose_parent(span, candidates, strict=strict, result=result)
+        chosen = _choose_parent(
+            table, row, candidates, strict=strict, result=result
+        )
         if chosen is not None:
-            span.parent_id = chosen.span_id
-            result.assigned[span.span_id] = chosen.span_id
+            chosen_id = span_ids[chosen]
+            parents[row] = chosen_id
+            parents_col[row] = chosen_id
+            result.assigned[span_ids[row]] = chosen_id
 
 
 def _choose_parent(
-    span: Span,
-    candidates: list[Span],
+    table: SpanTable,
+    row: int,
+    candidates: List[int],
     *,
     strict: bool,
     result: CorrelationResult,
-) -> Span | None:
+) -> int | None:
+    """Pick the tightest strictly-nested candidate row, or flag ambiguity."""
     if len(candidates) == 1:
         return candidates[0]
     # Multiple containing candidates: fine if they are strictly nested
     # (pick the tightest); ambiguous if any two merely overlap — including
     # the identical-interval case (two parallel layers spanning the same
     # window), which only a serialized re-run can resolve.
-    ordered = sorted(candidates, key=lambda s: (s.duration_ns, s.start_ns))
+    starts = table.start_ns
+    ends = table.end_ns
+    ordered = sorted(
+        candidates, key=lambda r: (ends[r] - starts[r], starts[r])
+    )
     for i, outer in enumerate(ordered):
+        outer_bounds = (starts[outer], ends[outer])
         for inner in ordered[:i]:
-            strictly_nested = outer.contains(inner) and (
-                (outer.start_ns, outer.end_ns)
-                != (inner.start_ns, inner.end_ns)
+            strictly_nested = (
+                outer_bounds[0] <= starts[inner]
+                and ends[inner] <= outer_bounds[1]
+                and outer_bounds != (starts[inner], ends[inner])
             )
             if not strictly_nested:
+                span = SpanView(table, row)
                 if strict:
-                    raise AmbiguousParentError(span, candidates)
+                    raise AmbiguousParentError(
+                        span, [SpanView(table, c) for c in candidates]
+                    )
                 result.ambiguous.append(span)
                 return None
     return ordered[0]

@@ -5,6 +5,13 @@ wire and traces outlive the profiled process.  This module provides the
 equivalent durability: a lossless JSON round-trip for traces so profiles
 can be archived and re-analyzed offline (the analysis pipeline consumes
 traces, not live runs).
+
+Both serializers stream straight from the trace's columnar
+:class:`~repro.tracing.table.SpanTable` — rows are read with the
+non-promoting tag/log accessors and no :class:`Span` objects (or view
+flyweights) are materialized.  Deserialization is the mirror image: span
+dicts are ingested with :meth:`SpanTable.append_row`, never constructing
+intermediate spans.
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ import json
 from typing import Any
 
 from repro.tracing.span import Level, LogEntry, Span, SpanKind
+from repro.tracing.table import NONE_ID, SpanTable
 from repro.tracing.trace import Trace
 
 #: Format marker for forward compatibility.
@@ -20,6 +28,7 @@ FORMAT_VERSION = 1
 
 
 def span_to_dict(span: Span) -> dict[str, Any]:
+    """Serialize one span-like object (a ``Span`` or a table view)."""
     return {
         "name": span.name,
         "start_ns": span.start_ns,
@@ -30,19 +39,40 @@ def span_to_dict(span: Span) -> dict[str, Any]:
         "parent_id": span.parent_id,
         "kind": span.kind.value,
         "correlation_id": span.correlation_id,
-        "tags": {k: _jsonable(v) for k, v in span.tags.items()},
+        "tags": {k: _jsonable(v) for k, v in span.iter_tags()},
         # Log fields take the same JSON-coercion path as tags: exotic
         # values degrade to repr() instead of failing the whole export.
-        "logs": [
-            {
-                "timestamp_ns": entry.timestamp_ns,
-                "fields": {
-                    str(k): _jsonable(v) for k, v in entry.fields.items()
-                },
-            }
-            for entry in span.logs
-        ],
+        "logs": _logs_to_list(span.logs),
     }
+
+
+def _row_to_dict(table: SpanTable, row: int) -> dict[str, Any]:
+    """One span dict straight from the columns (no view materialized)."""
+    parent_id = table.parent_id[row]
+    correlation_id = table.correlation_id[row]
+    return {
+        "name": table.name_of(row),
+        "start_ns": table.start_ns[row],
+        "end_ns": table.end_ns[row],
+        "level": table.level_of(row).name,
+        "span_id": table.span_id[row],
+        "trace_id": table.trace_id[row],
+        "parent_id": None if parent_id == NONE_ID else parent_id,
+        "kind": table.kind_of(row).value,
+        "correlation_id": None if correlation_id == NONE_ID else correlation_id,
+        "tags": {k: _jsonable(v) for k, v in table.iter_tags(row)},
+        "logs": _logs_to_list(table.peek_logs(row)),
+    }
+
+
+def _logs_to_list(logs: list[LogEntry]) -> list[dict[str, Any]]:
+    return [
+        {
+            "timestamp_ns": entry.timestamp_ns,
+            "fields": {str(k): _jsonable(v) for k, v in entry.fields.items()},
+        }
+        for entry in logs
+    ]
 
 
 def span_from_dict(data: dict[str, Any]) -> Span:
@@ -66,12 +96,13 @@ def span_from_dict(data: dict[str, Any]) -> Span:
 
 def trace_to_json(trace: Trace) -> str:
     """Serialize a trace (spans + metadata) to a JSON document."""
+    table = trace.table
     return json.dumps(
         {
             "format_version": FORMAT_VERSION,
             "trace_id": trace.trace_id,
             "metadata": {k: _jsonable(v) for k, v in trace.metadata.items()},
-            "spans": [span_to_dict(s) for s in trace.spans],
+            "spans": [_row_to_dict(table, row) for row in range(len(table))],
         }
     )
 
@@ -90,9 +121,28 @@ def trace_from_dict(data: dict[str, Any]) -> Trace:
             f"(expected {FORMAT_VERSION})"
         )
     trace = Trace(trace_id=data["trace_id"], metadata=dict(data["metadata"]))
-    # Bulk list extend (not Trace.add) keeps each span's original trace_id;
-    # the trace's lazy index is built on first query after loading.
-    trace.spans.extend(span_from_dict(s) for s in data["spans"])
+    # Columnar bulk ingest (not Trace.add) keeps each span's original
+    # trace_id; the trace's lazy index is built on first query after
+    # loading.
+    table = trace.table
+    for s in data["spans"]:
+        table.append_row(
+            name=s["name"],
+            start_ns=s["start_ns"],
+            end_ns=s["end_ns"],
+            level=Level[s["level"]],
+            span_id=s["span_id"],
+            trace_id=s.get("trace_id", 0),
+            parent_id=s.get("parent_id"),
+            kind=SpanKind(s.get("kind", "internal")),
+            correlation_id=s.get("correlation_id"),
+            tags=s.get("tags") or None,
+            logs=[
+                LogEntry(timestamp_ns=e["timestamp_ns"], fields=dict(e["fields"]))
+                for e in s.get("logs", [])
+            ]
+            or None,
+        )
     return trace
 
 
@@ -138,39 +188,47 @@ def trace_to_chrome(trace: Trace) -> str:
                 "args": {"sort_index": int(level)},
             }
         )
-    for s in trace.spans:
-        ts_us = s.start_ns / 1e3  # chrome uses microseconds
+    table = trace.table
+    for row in range(len(table)):
+        start_ns = table.start_ns[row]
+        ts_us = start_ns / 1e3  # chrome uses microseconds
+        level = table.level_of(row)
+        kind = table.kind_of(row)
+        parent_id = table.parent_id[row]
+        correlation_id = table.correlation_id[row]
         events.append(
             {
-                "name": s.name,
-                "cat": s.level.name,
+                "name": table.name_of(row),
+                "cat": level.name,
                 "ph": "X",
                 "ts": ts_us,
-                "dur": s.duration_ns / 1e3,
+                "dur": (table.end_ns[row] - start_ns) / 1e3,
                 "pid": trace.trace_id,
-                "tid": int(s.level),
+                "tid": int(level),
                 "args": {
-                    "span_id": s.span_id,
-                    "parent_id": s.parent_id,
-                    "kind": s.kind.value,
-                    "correlation_id": s.correlation_id,
-                    **{k: _jsonable(v) for k, v in s.tags.items()},
+                    "span_id": table.span_id[row],
+                    "parent_id": None if parent_id == NONE_ID else parent_id,
+                    "kind": kind.value,
+                    "correlation_id": (
+                        None if correlation_id == NONE_ID else correlation_id
+                    ),
+                    **{k: _jsonable(v) for k, v in table.iter_tags(row)},
                 },
             }
         )
-        if s.correlation_id is not None and s.kind in (
+        if correlation_id != NONE_ID and kind in (
             SpanKind.LAUNCH,
             SpanKind.EXECUTION,
         ):
             flow = {
                 "name": "launch->execution",
                 "cat": "correlation",
-                "id": s.correlation_id,
+                "id": correlation_id,
                 "pid": trace.trace_id,
-                "tid": int(s.level),
+                "tid": int(level),
                 "ts": ts_us,
             }
-            if s.kind == SpanKind.LAUNCH:
+            if kind == SpanKind.LAUNCH:
                 events.append({**flow, "ph": "s"})
             else:
                 events.append({**flow, "ph": "f", "bp": "e"})

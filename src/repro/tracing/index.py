@@ -2,18 +2,33 @@
 
 The analysis pipeline's defining access pattern is *index once, query
 many*: a trace is captured (or loaded) once and then interrogated by the
-correlation pass, the merge step, and all 15 analyses.  The seed
-implementation answered every query with a fresh O(n) scan of the span
-list; :class:`TraceIndex` builds each index a single time and serves all
-subsequent queries from it.
+correlation pass, the merge step, and all 15 analyses.  :class:`TraceIndex`
+builds each index a single time over the trace's columnar
+:class:`~repro.tracing.table.SpanTable` and serves all subsequent queries
+from it.
+
+Two layers of indexes exist:
+
+* **row-level** (the hot path): timeline orderings, level/kind
+  partitions, the id map, extents, and the gap index are all built from —
+  and answered as — row indices into the table's columns.  The sweep-line
+  correlator, the gap rules, and the exporters consume these directly and
+  never materialize span objects.  When numpy is importable the orderings
+  and partitions are computed with zero-copy ``frombuffer`` views over
+  the columns (``lexsort``/``nonzero``); the pure-Python fallback is
+  identical in output.
+* **view-level** (the compatible public surface): ``sorted_spans()``,
+  ``by_level()``, ``by_id()``, ... materialize
+  :class:`~repro.tracing.table.SpanView` flyweights from the row indexes,
+  lazily and cached per family.
 
 Invalidation model
 ------------------
 Indexes are keyed on span *membership* (the identity and length of the
-trace's span list): :meth:`Trace.add`/:meth:`Trace.extend` drop the index,
+trace's table): :meth:`Trace.add`/:meth:`Trace.extend` drop the index,
 and a direct ``trace.spans.append(...)`` is caught by the length check the
-next time the index is consulted.  Spans themselves are immutable for
-indexing purposes with one exception — ``parent_id``, which the offline
+next time the index is consulted.  Rows are immutable for indexing
+purposes with one exception — ``parent_id``, which the offline
 correlation pass assigns after capture.  The parent-derived indexes
 (children, roots) therefore live behind a separate epoch that
 :func:`repro.tracing.correlation.reconstruct_parents` and
@@ -25,13 +40,15 @@ after querying a trace must do the same.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from operator import attrgetter
 from typing import Dict, List, Optional, Tuple
 
-from repro.tracing.span import Level, Span, SpanKind
+from repro.tracing.span import Level, SpanKind
+from repro.tracing.table import KINDS, NONE_ID, SpanTable, SpanView, _KIND_CODE
 
-_START = attrgetter("start_ns")
-_END = attrgetter("end_ns")
+try:  # optional acceleration; storage stays stdlib-array either way
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the fallback tests
+    _np = None
 
 
 @dataclass(frozen=True)
@@ -57,48 +74,63 @@ class Gap:
         return self.duration_ns / 1e6
 
 
-def _compute_gaps(spans: List[Span]) -> List[Gap]:
-    """Idle intervals of a timeline-sorted span list, one merged pass.
+def _compute_gaps(table: SpanTable, rows: List[int]) -> List[Gap]:
+    """Idle intervals of a timeline-sorted row list, one merged pass.
 
     Overlapping spans are coalesced on the fly (track the running max end
-    and the span that achieves it), so a "gap" is an interval covered by
+    and the row that achieves it), so a "gap" is an interval covered by
     *no* span at all — exactly the device-idle bubbles of a GPU timeline.
     """
     gaps: List[Gap] = []
-    if not spans:
+    if not rows:
         return gaps
-    frontier = spans[0]
-    frontier_end = frontier.end_ns
-    for span in spans[1:]:
-        if span.start_ns > frontier_end:
+    starts = table.start_ns
+    ends = table.end_ns
+    ids = table.span_id
+    frontier = rows[0]
+    frontier_end = ends[frontier]
+    for row in rows[1:]:
+        start = starts[row]
+        if start > frontier_end:
             gaps.append(
                 Gap(
                     start_ns=frontier_end,
-                    end_ns=span.start_ns,
-                    before_id=frontier.span_id,
-                    after_id=span.span_id,
+                    end_ns=start,
+                    before_id=ids[frontier],
+                    after_id=ids[row],
                 )
             )
-        if span.end_ns > frontier_end:
-            frontier = span
-            frontier_end = span.end_ns
+        end = ends[row]
+        if end > frontier_end:
+            frontier = row
+            frontier_end = end
     return gaps
 
 
-def _timeline_sorted(spans: List[Span]) -> List[Span]:
-    """Spans by (start, -duration) — parents before children.
+def _timeline_rows(table: SpanTable, rows: List[int] | None = None) -> List[int]:
+    """Row indices by (start, -duration) — parents before children.
 
-    Two stable C-keyed passes (end desc, then start asc) beat one pass
-    with a Python tuple key: equal starts keep the end-descending order,
-    which is exactly duration-descending.
+    Two stable passes (end desc, then start asc) over C-level keys: equal
+    starts keep the end-descending order, which is exactly
+    duration-descending; full ties keep row (publication) order.
     """
-    out = sorted(spans, key=_END, reverse=True)
-    out.sort(key=_START)
+    if rows is None:
+        if _np is not None and len(table) > 64:
+            starts = _np.frombuffer(table.start_ns, dtype=_np.int64)
+            ends = _np.frombuffer(table.end_ns, dtype=_np.int64)
+            # lexsort is stable and sorts by the *last* key first.
+            return _np.lexsort((-ends, starts)).tolist()
+        rows = list(range(len(table)))
+        out = rows
+    else:
+        out = list(rows)
+    out.sort(key=table.end_ns.__getitem__, reverse=True)
+    out.sort(key=table.start_ns.__getitem__)
     return out
 
 
 class TraceIndex:
-    """Indexes over one snapshot of a trace's span list.
+    """Indexes over one snapshot of a trace's span table.
 
     All builders are lazy: the first query of each family pays the build
     cost, subsequent queries are dictionary/list lookups.  The containers
@@ -108,102 +140,169 @@ class TraceIndex:
     """
 
     __slots__ = (
-        "_spans",
+        "table",
         "_n",
-        "_sorted",
-        "_by_level",
-        "_by_level_sorted",
-        "_by_kind",
-        "_by_id",
+        "_rows_sorted",
+        "_level_rows",
+        "_level_rows_sorted",
+        "_kind_rows",
+        "_row_by_id",
         "_extent",
         "_levels",
-        "_children",
-        "_roots",
         "_gaps",
+        "_children_rows",
+        "_root_rows",
+        "_sorted_views",
+        "_by_level_views",
+        "_by_level_sorted_views",
+        "_by_kind_views",
+        "_by_id_views",
+        "_children_views",
+        "_roots_views",
     )
 
-    def __init__(self, spans: List[Span]) -> None:
-        self._spans = spans
-        self._n = len(spans)
-        self._sorted: Optional[List[Span]] = None
-        self._by_level: Optional[Dict[Level, List[Span]]] = None
-        self._by_level_sorted: Dict[Level, List[Span]] = {}
-        self._by_kind: Optional[Dict[SpanKind, List[Span]]] = None
-        self._by_id: Optional[Dict[int, Span]] = None
+    def __init__(self, table: SpanTable) -> None:
+        self.table = table
+        self._n = len(table)
+        # row-level caches
+        self._rows_sorted: Optional[List[int]] = None
+        self._level_rows: Optional[Dict[Level, List[int]]] = None
+        self._level_rows_sorted: Dict[Level, List[int]] = {}
+        self._kind_rows: Optional[Dict[SpanKind, List[int]]] = None
+        self._row_by_id: Optional[Dict[int, int]] = None
         self._extent: Optional[Tuple[int, int]] = None
         self._levels: Optional[List[Level]] = None
-        self._children: Optional[Dict[Optional[int], List[Span]]] = None
-        self._roots: Optional[List[Span]] = None
         self._gaps: Dict[Tuple[Level, Optional[SpanKind]], List[Gap]] = {}
+        self._children_rows: Optional[Dict[Optional[int], List[int]]] = None
+        self._root_rows: Optional[List[int]] = None
+        # view-level caches (materialized lazily from the row level)
+        self._sorted_views: Optional[List[SpanView]] = None
+        self._by_level_views: Optional[Dict[Level, List[SpanView]]] = None
+        self._by_level_sorted_views: Dict[Level, List[SpanView]] = {}
+        self._by_kind_views: Optional[Dict[SpanKind, List[SpanView]]] = None
+        self._by_id_views: Optional[Dict[int, SpanView]] = None
+        self._children_views: Optional[Dict[Optional[int], List[SpanView]]] = None
+        self._roots_views: Optional[List[SpanView]] = None
 
     # -- cache validity ---------------------------------------------------
-    def fresh_for(self, spans: List[Span]) -> bool:
-        """True while this index still describes ``spans``' membership."""
-        return self._spans is spans and self._n == len(spans)
+    def fresh_for(self, table: SpanTable) -> bool:
+        """True while this index still describes ``table``'s membership."""
+        return self.table is table and self._n == len(table)
 
     def invalidate_parents(self) -> None:
         """Drop the parent-derived indexes (children, roots)."""
-        self._children = None
-        self._roots = None
+        self._children_rows = None
+        self._root_rows = None
+        self._children_views = None
+        self._roots_views = None
 
-    # -- structural indexes (immutable span attributes) -------------------
-    def sorted_spans(self) -> List[Span]:
-        """Spans in timeline order (start asc, duration desc; stable)."""
-        if self._sorted is None:
-            self._sorted = _timeline_sorted(self._spans)
-        return self._sorted
+    # -- row-level indexes (the hot path) ---------------------------------
+    def rows_sorted(self) -> List[int]:
+        """Row indices in timeline order (start asc, duration desc)."""
+        if self._rows_sorted is None:
+            self._rows_sorted = _timeline_rows(self.table)
+        return self._rows_sorted
 
-    def by_level(self) -> Dict[Level, List[Span]]:
-        """Level -> spans at that level, in publication order."""
-        if self._by_level is None:
-            buckets: Dict[Level, List[Span]] = {}
-            for s in self._spans:
-                try:
-                    buckets[s.level].append(s)
-                except KeyError:
-                    buckets[s.level] = [s]
-            self._by_level = buckets
-        return self._by_level
+    def level_rows(self) -> Dict[Level, List[int]]:
+        """Level -> row indices at that level, in publication order."""
+        if self._level_rows is None:
+            table = self.table
+            buckets: Dict[Level, List[int]] = {}
+            if _np is not None and self._n > 64:
+                codes = _np.frombuffer(table.level, dtype=_np.int8)
+                for code in _np.unique(codes).tolist():
+                    buckets[Level(code)] = _np.nonzero(codes == code)[
+                        0
+                    ].tolist()
+            else:
+                for row, code in enumerate(table.level):
+                    level = Level(code)
+                    try:
+                        buckets[level].append(row)
+                    except KeyError:
+                        buckets[level] = [row]
+            self._level_rows = buckets
+        return self._level_rows
 
-    def level_sorted(self, level: Level) -> List[Span]:
-        """Spans at ``level`` in timeline order (the sweep-line's view)."""
-        cached = self._by_level_sorted.get(level)
+    def level_rows_sorted(self, level: Level) -> List[int]:
+        """Rows at ``level`` in timeline order (the sweep-line's view)."""
+        cached = self._level_rows_sorted.get(level)
         if cached is None:
-            cached = _timeline_sorted(self.by_level().get(level, []))
-            self._by_level_sorted[level] = cached
+            cached = _timeline_rows(self.table, self.level_rows().get(level, []))
+            self._level_rows_sorted[level] = cached
         return cached
 
-    def by_kind(self) -> Dict[SpanKind, List[Span]]:
-        if self._by_kind is None:
-            buckets: Dict[SpanKind, List[Span]] = {}
-            for s in self._spans:
-                try:
-                    buckets[s.kind].append(s)
-                except KeyError:
-                    buckets[s.kind] = [s]
-            self._by_kind = buckets
-        return self._by_kind
+    def kind_rows(self) -> Dict[SpanKind, List[int]]:
+        if self._kind_rows is None:
+            table = self.table
+            buckets: Dict[SpanKind, List[int]] = {}
+            if _np is not None and self._n > 64:
+                codes = _np.frombuffer(table.kind, dtype=_np.int8)
+                for code in _np.unique(codes).tolist():
+                    buckets[KINDS[code]] = _np.nonzero(codes == code)[
+                        0
+                    ].tolist()
+            else:
+                for row in range(self._n):
+                    kind = table.kind_of(row)
+                    try:
+                        buckets[kind].append(row)
+                    except KeyError:
+                        buckets[kind] = [row]
+            self._kind_rows = buckets
+        return self._kind_rows
 
-    def by_id(self) -> Dict[int, Span]:
-        if self._by_id is None:
-            self._by_id = {s.span_id: s for s in self._spans}
-        return self._by_id
+    def row_by_id(self) -> Dict[int, int]:
+        """span_id -> row index (last write wins, as the dict did)."""
+        if self._row_by_id is None:
+            self._row_by_id = dict(
+                zip(self.table.span_id.tolist(), range(self._n))
+            )
+        return self._row_by_id
 
     def levels_present(self) -> List[Level]:
         if self._levels is None:
-            self._levels = sorted(self.by_level())
+            self._levels = sorted(self.level_rows())
         return self._levels
 
     def extent_ns(self) -> Tuple[int, int]:
         """(min start, max end) across all spans; (0, 0) when empty."""
         if self._extent is None:
-            if not self._spans:
+            if self._n == 0:
                 self._extent = (0, 0)
+            elif _np is not None and self._n > 64:
+                starts = _np.frombuffer(self.table.start_ns, dtype=_np.int64)
+                ends = _np.frombuffer(self.table.end_ns, dtype=_np.int64)
+                self._extent = (int(starts.min()), int(ends.max()))
             else:
-                lo = min(s.start_ns for s in self._spans)
-                hi = max(s.end_ns for s in self._spans)
-                self._extent = (lo, hi)
+                self._extent = (min(self.table.start_ns), max(self.table.end_ns))
         return self._extent
+
+    def level_extent_ns(
+        self, level: Level, kind: Optional[SpanKind] = None
+    ) -> Optional[Tuple[int, int]]:
+        """(min start, max end) of one level's (optionally one kind's)
+        timeline; ``None`` when no such spans exist."""
+        rows = self._level_kind_rows(level, kind)
+        if not rows:
+            return None
+        starts = self.table.start_ns
+        ends = self.table.end_ns
+        # Rows are timeline-sorted: the first start is the minimum.
+        return starts[rows[0]], max(ends[r] for r in rows)
+
+    def level_kind_count(self, level: Level, kind: Optional[SpanKind] = None) -> int:
+        return len(self._level_kind_rows(level, kind))
+
+    def _level_kind_rows(
+        self, level: Level, kind: Optional[SpanKind]
+    ) -> List[int]:
+        rows = self.level_rows_sorted(level)
+        if kind is None:
+            return rows
+        table_kind = self.table.kind
+        code = _KIND_CODE[kind]
+        return [r for r in rows if table_kind[r] == code]
 
     def gaps(self, level: Level, kind: Optional[SpanKind] = None) -> List[Gap]:
         """Idle intervals between ``level``'s spans (optionally one kind).
@@ -215,38 +314,101 @@ class TraceIndex:
         key = (level, kind)
         cached = self._gaps.get(key)
         if cached is None:
-            spans = self.level_sorted(level)
-            if kind is not None:
-                spans = [s for s in spans if s.kind == kind]
-            cached = _compute_gaps(spans)
+            cached = _compute_gaps(self.table, self._level_kind_rows(level, kind))
             self._gaps[key] = cached
         return cached
 
-    # -- parent-derived indexes (see the invalidation model above) --------
-    def children_index(self) -> Dict[Optional[int], List[Span]]:
-        """Parent span id -> children, each bucket in start order."""
-        if self._children is None:
-            buckets: Dict[Optional[int], List[Span]] = {}
-            for s in self._spans:
+    # -- parent-derived row indexes (see the invalidation model above) ----
+    def children_rows(self) -> Dict[Optional[int], List[int]]:
+        """Parent span id -> child rows, each bucket in start order."""
+        if self._children_rows is None:
+            table = self.table
+            buckets: Dict[Optional[int], List[int]] = {}
+            parents = table.parent_id
+            for row in range(self._n):
+                pid = parents[row]
+                key = None if pid == NONE_ID else pid
                 try:
-                    buckets[s.parent_id].append(s)
+                    buckets[key].append(row)
                 except KeyError:
-                    buckets[s.parent_id] = [s]
+                    buckets[key] = [row]
+            starts = table.start_ns
             for kids in buckets.values():
-                kids.sort(key=lambda s: s.start_ns)
-            self._children = buckets
-        return self._children
+                kids.sort(key=starts.__getitem__)
+            self._children_rows = buckets
+        return self._children_rows
 
-    def children_of(self, span_id: int) -> List[Span]:
+    def root_rows(self) -> List[int]:
+        """Rows with no (known) parent, in publication order."""
+        if self._root_rows is None:
+            ids = self.row_by_id()
+            parents = self.table.parent_id
+            self._root_rows = [
+                row
+                for row in range(self._n)
+                if parents[row] == NONE_ID or parents[row] not in ids
+            ]
+        return self._root_rows
+
+    # -- view-level indexes (compatible public surface) -------------------
+    def _views(self, rows: List[int]) -> List[SpanView]:
+        table = self.table
+        return [SpanView(table, row) for row in rows]
+
+    def sorted_spans(self) -> List[SpanView]:
+        """Spans in timeline order (start asc, duration desc; stable)."""
+        if self._sorted_views is None:
+            self._sorted_views = self._views(self.rows_sorted())
+        return self._sorted_views
+
+    def by_level(self) -> Dict[Level, List[SpanView]]:
+        """Level -> spans at that level, in publication order."""
+        if self._by_level_views is None:
+            self._by_level_views = {
+                level: self._views(rows)
+                for level, rows in self.level_rows().items()
+            }
+        return self._by_level_views
+
+    def level_sorted(self, level: Level) -> List[SpanView]:
+        """Spans at ``level`` in timeline order."""
+        cached = self._by_level_sorted_views.get(level)
+        if cached is None:
+            cached = self._views(self.level_rows_sorted(level))
+            self._by_level_sorted_views[level] = cached
+        return cached
+
+    def by_kind(self) -> Dict[SpanKind, List[SpanView]]:
+        if self._by_kind_views is None:
+            self._by_kind_views = {
+                kind: self._views(rows)
+                for kind, rows in self.kind_rows().items()
+            }
+        return self._by_kind_views
+
+    def by_id(self) -> Dict[int, SpanView]:
+        if self._by_id_views is None:
+            table = self.table
+            self._by_id_views = {
+                span_id: SpanView(table, row)
+                for span_id, row in self.row_by_id().items()
+            }
+        return self._by_id_views
+
+    def children_index(self) -> Dict[Optional[int], List[SpanView]]:
+        """Parent span id -> children, each bucket in start order."""
+        if self._children_views is None:
+            self._children_views = {
+                parent: self._views(rows)
+                for parent, rows in self.children_rows().items()
+            }
+        return self._children_views
+
+    def children_of(self, span_id: int) -> List[SpanView]:
         return self.children_index().get(span_id, [])
 
-    def roots(self) -> List[Span]:
+    def roots(self) -> List[SpanView]:
         """Spans with no (known) parent, in publication order."""
-        if self._roots is None:
-            ids = self.by_id()
-            self._roots = [
-                s
-                for s in self._spans
-                if s.parent_id is None or s.parent_id not in ids
-            ]
-        return self._roots
+        if self._roots_views is None:
+            self._roots_views = self._views(self.root_rows())
+        return self._roots_views

@@ -84,8 +84,36 @@ class TracingServer:
             fn(span)
 
     def publish_many(self, spans: Iterable[Span]) -> None:
-        for s in spans:
-            self.publish(s)
+        """Publish a batch of spans under one lock acquisition.
+
+        The batch path exists for offline-converted profiler output
+        (hundreds of thousands of spans at once): each span is appended
+        straight into its trace's columnar table — no intermediate span
+        list is built or retained, and the lock is taken once per batch
+        instead of once per span.
+        """
+        subscribers: list[Callable[[Span], None]] = []
+        published: list[Span] = []
+        with self._lock:
+            for span in spans:
+                tid = span.trace_id or self._active_trace_id
+                if (
+                    tid is not None
+                    and tid <= self._ended_watermark
+                    and tid not in self._traces
+                ):
+                    continue  # addressed to an ended trace
+                if tid is None:
+                    tid = self.begin_trace()
+                trace = self._traces.setdefault(tid, Trace(trace_id=tid))
+                trace.add(span)
+                if self._subscribers:
+                    published.append(span)
+            if self._subscribers and published:
+                subscribers = list(self._subscribers)
+        for fn in subscribers:
+            for span in published:
+                fn(span)
 
     def subscribe(self, fn: Callable[[Span], None]) -> None:
         """Register a callback invoked for every published span (for tooling)."""

@@ -4,6 +4,13 @@ A :class:`Trace` is what the tracing server hands to the analysis pipeline.
 It provides level-based queries, child lookup, and export to the Chrome
 ``chrome://tracing`` JSON format for visual inspection.
 
+Storage is columnar: every published span is appended to the trace's
+:class:`~repro.tracing.table.SpanTable` (structure-of-arrays — see that
+module for the storage contract) and no per-span objects are retained.
+``trace.spans`` remains a list-like sequence for source compatibility; it
+yields lightweight :class:`~repro.tracing.table.SpanView` flyweights bound
+to the table's rows.
+
 Queries are served by a lazily-built :class:`~repro.tracing.index.TraceIndex`
 (index once, query many): the first query after a mutation pays one
 O(n log n) build, every later query is a lookup.  Mutating methods
@@ -13,42 +20,102 @@ querying must call :meth:`Trace.touch_parents`.
 
 from __future__ import annotations
 
-from collections import defaultdict
-from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator
 
 from repro.tracing.index import Gap, TraceIndex
 from repro.tracing.span import Level, Span, SpanKind
+from repro.tracing.table import SpanTable, SpanView
 
 
-@dataclass
+class SpanSequence:
+    """List-like, append-able view of a trace's span table.
+
+    Kept source-compatible with the former ``list[Span]`` field:
+    iteration, indexing, ``len``, and ``append``/``extend`` all work (the
+    latter two ingest into the columns; the index's length check picks
+    the change up, exactly as a direct list append did).
+    """
+
+    __slots__ = ("_table",)
+
+    def __init__(self, table: SpanTable) -> None:
+        self._table = table
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __iter__(self) -> Iterator[SpanView]:
+        return self._table.views()
+
+    def __getitem__(self, item: int | slice):
+        n = len(self._table)
+        if isinstance(item, slice):
+            return [SpanView(self._table, row) for row in range(n)[item]]
+        row = item if item >= 0 else n + item
+        if not 0 <= row < n:
+            raise IndexError("span index out of range")
+        return SpanView(self._table, row)
+
+    def __bool__(self) -> bool:
+        return len(self._table) > 0
+
+    def append(self, span: Span) -> None:
+        self._table.append(span)
+
+    def extend(self, spans: Iterable[Span]) -> None:
+        for span in spans:
+            self._table.append(span)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SpanSequence(<{len(self._table)} spans>)"
+
+
 class Trace:
     """An ordered collection of spans sharing a ``trace_id``."""
 
-    trace_id: int
-    spans: list[Span] = field(default_factory=list)
-    metadata: dict[str, Any] = field(default_factory=dict)
-    _index: TraceIndex | None = field(
-        default=None, init=False, repr=False, compare=False
-    )
+    __slots__ = ("trace_id", "table", "metadata", "_index")
+
+    def __init__(
+        self,
+        trace_id: int,
+        spans: Iterable[Span] | None = None,
+        metadata: dict[str, Any] | None = None,
+    ) -> None:
+        self.trace_id = trace_id
+        self.table = SpanTable()
+        self.metadata: dict[str, Any] = metadata if metadata is not None else {}
+        self._index: TraceIndex | None = None
+        if spans is not None:
+            self.extend(spans)
 
     # -- mutation ---------------------------------------------------------
     def add(self, span: Span) -> None:
         span.trace_id = self.trace_id
-        self.spans.append(span)
+        self.table.append(span)
         self._index = None
 
     def extend(self, spans: Iterable[Span]) -> None:
         for s in spans:
             self.add(s)
 
+    def add_row(self, **fields: Any) -> int:
+        """Columnar ingest of one span's fields (no ``Span`` constructed).
+
+        Accepts :meth:`SpanTable.append_row` keywords; the row is stamped
+        with this trace's id.  Returns the new row index.
+        """
+        fields["trace_id"] = self.trace_id
+        row = self.table.append_row(**fields)
+        self._index = None
+        return row
+
     # -- index lifecycle --------------------------------------------------
     @property
     def index(self) -> TraceIndex:
         """The current (lazily rebuilt) index over this trace's spans."""
         idx = self._index
-        if idx is None or not idx.fresh_for(self.spans):
-            idx = TraceIndex(self.spans)
+        if idx is None or not idx.fresh_for(self.table):
+            idx = TraceIndex(self.table)
             self._index = idx
         return idx
 
@@ -62,42 +129,51 @@ class Trace:
             self._index.invalidate_parents()
 
     # -- queries ------------------------------------------------------------
+    @property
+    def spans(self) -> SpanSequence:
+        return SpanSequence(self.table)
+
     def __len__(self) -> int:
-        return len(self.spans)
+        return len(self.table)
 
-    def __iter__(self) -> Iterator[Span]:
-        return iter(self.spans)
+    def __iter__(self) -> Iterator[SpanView]:
+        return self.table.views()
 
-    def sorted_spans(self) -> list[Span]:
+    def sorted_spans(self) -> list[SpanView]:
         """Spans sorted by (start, -duration) — parents before children."""
         return list(self.index.sorted_spans())
 
-    def at_level(self, level: Level) -> list[Span]:
+    def at_level(self, level: Level) -> list[SpanView]:
         return list(self.index.by_level().get(level, ()))
 
-    def of_kind(self, kind: SpanKind) -> list[Span]:
+    def of_kind(self, kind: SpanKind) -> list[SpanView]:
         return list(self.index.by_kind().get(kind, ()))
 
-    def find(self, predicate: Callable[[Span], bool]) -> list[Span]:
-        return [s for s in self.spans if predicate(s)]
+    def find(self, predicate: Callable[[SpanView], bool]) -> list[SpanView]:
+        return [s for s in self.table.views() if predicate(s)]
 
-    def first_named(self, name: str) -> Span | None:
-        for s in self.spans:
-            if s.name == name:
-                return s
+    def first_named(self, name: str) -> SpanView | None:
+        # Interning makes this a column scan for one small int, not a
+        # per-span string comparison.
+        name_id = self.table.name_code(name)
+        if name_id is None:
+            return None
+        for row, nid in enumerate(self.table.name_id):
+            if nid == name_id:
+                return SpanView(self.table, row)
         return None
 
-    def by_id(self) -> dict[int, Span]:
+    def by_id(self) -> dict[int, SpanView]:
         return dict(self.index.by_id())
 
-    def children_of(self, span: Span) -> list[Span]:
+    def children_of(self, span) -> list[SpanView]:
         return list(self.index.children_of(span.span_id))
 
-    def children_index(self) -> dict[int | None, list[Span]]:
+    def children_index(self) -> dict[int | None, list[SpanView]]:
         """Map parent span id -> children, in start order."""
         return {k: list(v) for k, v in self.index.children_index().items()}
 
-    def roots(self) -> list[Span]:
+    def roots(self) -> list[SpanView]:
         return list(self.index.roots())
 
     def levels_present(self) -> list[Level]:
@@ -129,13 +205,20 @@ class Trace:
 
     def summary(self) -> dict[str, Any]:
         """Compact description used in test assertions and reports."""
-        per_level = defaultdict(int)
-        for level, spans in self.index.by_level().items():
-            per_level[level.name] += len(spans)
+        per_level = {
+            level.name: len(rows)
+            for level, rows in self.index.level_rows().items()
+        }
         lo, hi = self.span_extent_ns()
         return {
             "trace_id": self.trace_id,
-            "n_spans": len(self.spans),
-            "per_level": dict(per_level),
+            "n_spans": len(self.table),
+            "per_level": per_level,
             "extent_ms": (hi - lo) / 1e6,
         }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Trace(trace_id={self.trace_id}, n_spans={len(self.table)}, "
+            f"metadata={self.metadata!r})"
+        )

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import abc
 import contextlib
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterable, Iterator
 
 from repro.tracing.span import Level, Span, SpanKind
 
@@ -20,7 +20,11 @@ class Tracer(abc.ABC):
 
     The sink is a callable (usually :meth:`repro.tracing.server.TracingServer.publish`)
     so that tracers do not depend on the server implementation — spans may
-    equally be buffered and converted offline, as the paper allows.
+    equally be buffered and converted offline, as the paper allows.  An
+    optional ``batch_sink`` (usually
+    :meth:`~repro.tracing.server.TracingServer.publish_many`) lets
+    offline-conversion tracers deliver a whole profiler dump in one
+    call — one server lock round per batch instead of one per span.
     """
 
     def __init__(
@@ -28,10 +32,12 @@ class Tracer(abc.ABC):
         name: str,
         level: Level,
         sink: Callable[[Span], None] | None = None,
+        batch_sink: Callable[[Iterable[Span]], None] | None = None,
     ) -> None:
         self.name = name
         self.level = level
         self._sink = sink
+        self._batch_sink = batch_sink
         self._enabled = True
 
     # -- enable/disable -------------------------------------------------
@@ -53,9 +59,33 @@ class Tracer(abc.ABC):
         span.tags.setdefault("tracer", self.name)
         self.emit(span)
 
+    def publish_many(self, spans: Iterable[Span]) -> list[Span]:
+        """Publish a batch of finished spans; returns the published list.
+
+        Tags each span like :meth:`publish` and delivers the whole batch
+        through :meth:`emit_many` (one ``batch_sink`` call when the
+        tracer has one).  A disabled tracer suppresses publication only:
+        the spans are still materialized and returned (untagged), exactly
+        as per-span :meth:`publish` loops behaved.
+        """
+        if not self._enabled:
+            return list(spans)
+        batch = []
+        for span in spans:
+            span.tags.setdefault("tracer", self.name)
+            batch.append(span)
+        if batch:
+            self.emit_many(batch)
+        return batch
+
     @abc.abstractmethod
     def emit(self, span: Span) -> None:
         """Deliver a span to the sink. Subclasses decide buffering policy."""
+
+    def emit_many(self, batch: list[Span]) -> None:
+        """Deliver a batch; defaults to per-span :meth:`emit`."""
+        for span in batch:
+            self.emit(span)
 
     # -- convenience -----------------------------------------------------
     def span(
@@ -124,14 +154,23 @@ class BufferingTracer(Tracer):
         name: str,
         level: Level,
         sink: Callable[[Span], None] | None = None,
+        batch_sink: Callable[[Iterable[Span]], None] | None = None,
     ) -> None:
-        super().__init__(name, level, sink)
+        super().__init__(name, level, sink, batch_sink)
         self.buffer: list[Span] = []
 
     def emit(self, span: Span) -> None:
         self.buffer.append(span)
         if self._sink is not None:
             self._sink(span)
+
+    def emit_many(self, batch: list[Span]) -> None:
+        self.buffer.extend(batch)
+        if self._batch_sink is not None:
+            self._batch_sink(batch)
+        elif self._sink is not None:
+            for span in batch:
+                self._sink(span)
 
     def drain(self) -> list[Span]:
         """Return and clear the local buffer."""

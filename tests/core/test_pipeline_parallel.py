@@ -112,6 +112,73 @@ def test_kernels_by_layer_memo_is_caller_safe(graph):
     assert [mk.name for mk in again[some_layer]] == before
 
 
+def test_worker_span_id_ranges_are_disjoint():
+    """Seeded workers draw span ids from namespace-disjoint ranges.
+
+    Regression: every ProcessPoolExecutor worker inherits a fresh module
+    state, so without the initializer each worker's span counter restarts
+    at 1 and spans from different workers collide.
+    """
+    import repro.tracing.span as span_mod
+    from repro.tracing.span import (
+        _NAMESPACE_MASK,
+        _NAMESPACE_SHIFT,
+        seed_span_ids,
+    )
+
+    first_seeded = 1 << _NAMESPACE_SHIFT
+    draws_per_worker = 1000
+
+    def ids_for(namespace):
+        base = seed_span_ids(namespace)
+        return {base + i for i in range(draws_per_worker)}
+
+    original_counter = span_mod._span_counter
+    try:
+        seen = set()
+        for namespace in (1234, 5678, 90123, _NAMESPACE_MASK + 1234):
+            ids = ids_for(namespace)
+            assert not (ids & seen), f"namespace {namespace} collides"
+            # Disjoint from the parent's unseeded counter range (slot 0).
+            assert min(ids) >= first_seeded
+            seen |= ids
+        # A namespace hashing to slot 0 must not fall back onto the
+        # parent's range either.
+        wrapped = ids_for(_NAMESPACE_MASK << _NAMESPACE_SHIFT)
+        assert min(wrapped) >= first_seeded
+    finally:
+        span_mod._span_counter = original_counter
+
+
+def test_worker_initializer_seeds_subprocess_counters():
+    """The sweep pool's initializer really runs in the workers."""
+    from concurrent.futures import ProcessPoolExecutor
+
+    from repro.core.pipeline import _seed_worker_span_ids
+    from repro.tracing.span import _NAMESPACE_SHIFT
+
+    with ProcessPoolExecutor(
+        max_workers=2, initializer=_seed_worker_span_ids
+    ) as pool:
+        batches = list(pool.map(_draw_span_ids, range(4)))
+    for ids in batches:
+        assert min(ids) >= 1 << _NAMESPACE_SHIFT
+    by_worker: dict[int, set] = {}
+    for ids in batches:
+        by_worker.setdefault(ids[0] >> _NAMESPACE_SHIFT, set()).update(ids)
+    workers = list(by_worker.values())
+    for i, a in enumerate(workers):
+        for b in workers[i + 1:]:
+            assert not (a & b), "span ids collide across workers"
+
+
+def _draw_span_ids(_):
+    """Module-level (picklable) worker task: draw a few span ids."""
+    from repro.tracing.span import new_span_id
+
+    return [new_span_id() for _ in range(50)]
+
+
 def test_single_batch_sweep_stays_serial(graph, monkeypatch):
     import repro.core.pipeline as pipeline_mod
 

@@ -79,6 +79,7 @@ def test_smoke_every_subcommand(tmp_path, capsys):
         ["experiments", "--only", "table07"],
         ["trace", "--model", "53", "--batch", "1",
          "--output", str(trace_out)],
+        ["trace", "--model", "53", "--batch", "1", "--stats"],
         ["advise", "--model", "53", "--batch", "1", "--sweep", "1,2"],
     ]
     for argv in invocations:

@@ -1,10 +1,16 @@
-"""Round-trip fuzz for the trace JSON export.
+"""Round-trip fuzz for the trace storage and JSON export.
 
 Randomized traces with exotic tag/log values (objects, nested tuples,
 bytes, unicode names), random parent assignments, and every level/kind
 must survive ``trace_from_json(trace_to_json(t))`` with span ids,
 parents, and levels intact.  Values only need to *serialize* (exotic
 ones may degrade to ``repr``); identity and structure must be lossless.
+
+The same corpus fuzzes the storage stack itself: ingesting a ``Span``
+into the columnar ``SpanTable`` and reading it back through a view must
+be the identity, view materialization (promoting packed tags) must not
+change what the exporter sees, and a JSON round trip must reproduce the
+columns exactly.
 """
 
 from __future__ import annotations
@@ -55,13 +61,9 @@ def _exotic_value(rng: random.Random):
     return rng.choice(choices)()
 
 
-def _random_trace(seed: int) -> Trace:
-    rng = random.Random(seed)
-    trace = Trace(
-        trace_id=rng.randint(1, 1 << 31),
-        metadata={"model": rng.choice(_NAMES), "weird": _exotic_value(rng)},
-    )
+def _random_spans(rng: random.Random) -> list[Span]:
     n = rng.randint(1, 40)
+    spans: list[Span] = []
     span_ids: list[int] = []
     for i in range(n):
         start = rng.randint(0, 10**9)
@@ -82,8 +84,18 @@ def _random_trace(seed: int) -> Trace:
                 rng.randint(0, 10**9),
                 **{f"f{j}": _exotic_value(rng) for j in range(rng.randint(1, 3))},
             )
-        trace.add(span)
+        spans.append(span)
         span_ids.append(span.span_id)
+    return spans
+
+
+def _random_trace(seed: int) -> Trace:
+    rng = random.Random(seed)
+    trace = Trace(
+        trace_id=rng.randint(1, 1 << 31),
+        metadata={"model": rng.choice(_NAMES), "weird": _exotic_value(rng)},
+    )
+    trace.extend(_random_spans(rng))
     return trace
 
 
@@ -114,6 +126,101 @@ def test_round_trip_is_stable(seed):
     trip: exotic values have already degraded to their JSON forms)."""
     once = trace_to_json(_random_trace(seed))
     assert trace_to_json(trace_from_json(once)) == once
+
+
+# -- storage equivalence: Span -> SpanTable -> view is the identity ---------
+
+
+def _columns(trace: Trace) -> dict:
+    table = trace.table
+    return {
+        "span_id": table.span_id.tolist(),
+        "start_ns": table.start_ns.tolist(),
+        "end_ns": table.end_ns.tolist(),
+        "level": table.level.tolist(),
+        "kind": table.kind.tolist(),
+        "parent_id": table.parent_id.tolist(),
+        "correlation_id": table.correlation_id.tolist(),
+        "names": [table.name_of(r) for r in range(len(table))],
+        "tags": [dict(table.iter_tags(r)) for r in range(len(table))],
+        "logs": [table.peek_logs(r) for r in range(len(table))],
+    }
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_table_views_are_equivalent_to_ingested_spans(seed):
+    """Every field read through a view equals the span that was ingested,
+    and view/span equality holds in both directions."""
+    rng = random.Random(seed * 7919 + 1)
+    spans = _random_spans(rng)
+    trace = Trace(trace_id=7)
+    trace.extend(spans)
+    assert len(trace) == len(spans)
+    for original, view in zip(spans, trace.spans):
+        assert view.name == original.name
+        assert view.start_ns == original.start_ns
+        assert view.end_ns == original.end_ns
+        assert view.duration_ns == original.duration_ns
+        assert view.level is original.level
+        assert view.kind is original.kind
+        assert view.span_id == original.span_id
+        assert view.trace_id == original.trace_id == 7  # stamped by add()
+        assert view.parent_id == original.parent_id
+        assert view.correlation_id == original.correlation_id
+        assert dict(view.iter_tags()) == original.tags
+        assert view.logs == original.logs
+        assert view == original and original == view
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_view_materialization_does_not_change_export(seed):
+    """Promoting every row's packed tags/logs (reading ``view.tags``)
+    leaves the JSON export byte-identical: packed and materialized
+    storage are the same logical trace."""
+    trace = _random_trace(seed)
+    before = trace_to_json(trace)
+    for view in trace.spans:
+        view.tags  # promotes packed tag-sets into the side-store
+        view.logs  # materializes empty log lists
+    assert trace_to_json(trace) == before
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_json_round_trip_reproduces_columns(seed):
+    """trace -> JSON -> trace reproduces the whole SpanTable: every
+    column, interned name, tag mapping, and log list."""
+    original = _random_trace(seed)
+    restored = trace_from_json(trace_to_json(original))
+    a, b = _columns(original), _columns(restored)
+    # Exotic tag/log values may only have degraded to their JSON forms;
+    # compare those after one normalizing trip.
+    for key in ("span_id", "start_ns", "end_ns", "level", "kind",
+                "parent_id", "correlation_id", "names"):
+        assert b[key] == a[key], key
+    roundtwice = trace_from_json(trace_to_json(restored))
+    assert _columns(roundtwice) == _columns(restored)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_mutation_through_views_reaches_storage_and_export(seed):
+    """parent_id writes, tag() and log() through views land in the
+    columns/side-stores and round-trip through the export."""
+    trace = _random_trace(seed)
+    views = list(trace.spans)
+    root = views[0]
+    for view in views[1:]:
+        view.parent_id = root.span_id
+    trace.touch_parents()
+    views[-1].tag("edited", "yes").log(123, event="flush")
+    restored = trace_from_json(trace_to_json(trace))
+    restored_views = list(restored.spans)
+    for view in restored_views[1:]:
+        assert view.parent_id == root.span_id
+    assert restored_views[-1].tags["edited"] == "yes"
+    assert restored_views[-1].logs[-1].fields == {"event": "flush"}
+    assert {v.span_id for v in trace.children_of(root)} == {
+        v.span_id for v in restored.children_of(restored_views[0])
+    }
 
 
 @pytest.mark.parametrize("seed", range(10))

@@ -49,6 +49,67 @@ def test_subscribers_see_spans():
     assert [s.name for s in seen] == ["x"]
 
 
+def test_publish_many_batches_into_columns():
+    """The batch ingest path: one lock round, spans land in the active
+    trace's columnar table, subscribers still see every span."""
+    server = TracingServer()
+    seen = []
+    server.subscribe(seen.append)
+    tid = server.begin_trace()
+    server.publish_many(_span(f"s{i}", i, i + 1) for i in range(5))
+    trace = server.end_trace(tid)
+    assert [s.name for s in trace.spans] == [f"s{i}" for i in range(5)]
+    assert [s.name for s in seen] == [f"s{i}" for i in range(5)]
+
+
+def test_publish_many_drops_spans_for_ended_traces():
+    server = TracingServer()
+    tid = server.begin_trace()
+    server.end_trace(tid)
+    late = _span("late")
+    late.trace_id = tid
+    server.publish_many([late])
+    assert server.traces() == []
+
+
+def test_buffering_tracer_batch_sink_reaches_server():
+    """publish_many on a tracer with a batch sink lands the whole batch
+    in the active trace, tagged with the tracer's name."""
+    from repro.tracing import BufferingTracer
+
+    server = TracingServer()
+    tid = server.begin_trace()
+    tracer = BufferingTracer(
+        "gpu", Level.GPU_KERNEL, server.publish, server.publish_many
+    )
+    published = tracer.publish_many(
+        _span(f"k{i}", i, i + 1, Level.GPU_KERNEL) for i in range(3)
+    )
+    assert [s.name for s in published] == ["k0", "k1", "k2"]
+    assert [s.name for s in tracer.buffer] == ["k0", "k1", "k2"]
+    trace = server.end_trace(tid)
+    assert [s.name for s in trace.spans] == ["k0", "k1", "k2"]
+    assert all(s.tags["tracer"] == "gpu" for s in trace.spans)
+
+
+def test_disabled_tracer_suppresses_batch_publication_only():
+    """Like per-span publish: a disabled tracer still returns the
+    converted spans (untagged), it just publishes and buffers nothing."""
+    from repro.tracing import BufferingTracer
+
+    server = TracingServer()
+    tid = server.begin_trace()
+    tracer = BufferingTracer(
+        "gpu", Level.GPU_KERNEL, server.publish, server.publish_many
+    )
+    tracer.disable()
+    returned = tracer.publish_many([_span("suppressed")])
+    assert [s.name for s in returned] == ["suppressed"]
+    assert "tracer" not in returned[0].tags
+    assert tracer.buffer == []
+    assert len(server.end_trace(tid)) == 0
+
+
 def test_multiple_tracers_aggregate_into_one_timeline():
     """The core idea: spans from different tracers merge into one trace."""
     from repro.tracing import BufferingTracer

@@ -1,0 +1,253 @@
+"""SpanTable unit tests: columns, interning, promotion, nbytes, fallback.
+
+The storage contract (see ``src/repro/tracing/table.py``): spans ingest
+into typed columns with interned names and packed scalar tag-sets; views
+are flyweights that read columns and write ``parent_id`` through; reading
+``view.tags`` promotes (materializes) the row; read-only consumers peek
+without promoting.  The pure-Python index fallback must agree with the
+numpy-accelerated builders on every query family.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.tracing import Level, Span, SpanKind, SpanTable, Trace
+from repro.tracing.table import NONE_ID
+
+
+def _span(i: int, **kwargs) -> Span:
+    defaults = dict(
+        name=f"op{i % 3}",
+        start_ns=10 * i,
+        end_ns=10 * i + 5,
+        level=Level.GPU_KERNEL,
+        span_id=i,
+    )
+    defaults.update(kwargs)
+    return Span(**defaults)
+
+
+# -- columns and interning --------------------------------------------------
+
+
+def test_append_fills_columns():
+    table = SpanTable()
+    row = table.append(
+        _span(1, kind=SpanKind.LAUNCH, correlation_id=77, parent_id=9)
+    )
+    assert row == 0
+    assert table.span_id[0] == 1
+    assert table.start_ns[0] == 10
+    assert table.end_ns[0] == 15
+    assert table.level[0] == int(Level.GPU_KERNEL)
+    assert table.kind_of(0) is SpanKind.LAUNCH
+    assert table.parent_id[0] == 9
+    assert table.correlation_id_of(0) == 77
+    assert len(table) == 1
+
+
+def test_none_ids_use_sentinel():
+    table = SpanTable()
+    table.append(_span(1))
+    assert table.parent_id[0] == NONE_ID
+    assert table.parent_id_of(0) is None
+    assert table.correlation_id[0] == NONE_ID
+    assert table.correlation_id_of(0) is None
+
+
+def test_invalid_interval_rejected():
+    table = SpanTable()
+    with pytest.raises(ValueError, match="precedes"):
+        table.append_row(
+            name="bad", start_ns=10, end_ns=5, level=Level.MODEL, span_id=1
+        )
+
+
+def test_names_are_interned():
+    table = SpanTable()
+    for i in range(1, 100):
+        table.append(_span(i))  # cycles over 3 distinct names
+    assert len(table._names) == 3
+    assert [table.name_of(r) for r in range(3)] == ["op1", "op2", "op0"]
+
+
+def test_scalar_tag_sets_are_shared():
+    table = SpanTable()
+    for i in range(1, 50):
+        table.append(_span(i, tags={"tracer": "gpu", "idx": 7}))
+    # One pooled tag-set serves all 49 rows.
+    assert len(table._tag_pool) == 1
+    assert len(table._tags) == 0
+    assert dict(table.iter_tags(13)) == {"tracer": "gpu", "idx": 7}
+
+
+def test_equal_but_differently_typed_tag_values_do_not_conflate():
+    """True/1/1.0 are == and hash alike, but must not share a pooled
+    tag-set: each row reads back the exact value type it ingested."""
+    table = SpanTable()
+    table.append(_span(1, tags={"x": True}))
+    table.append(_span(2, tags={"x": 1}))
+    table.append(_span(3, tags={"x": 1.0}))
+    values = [table.peek_tags(r)["x"] for r in range(3)]
+    assert values == [True, 1, 1.0]
+    assert [type(v) for v in values] == [bool, int, float]
+
+
+def test_unpackable_tags_go_to_side_store():
+    table = SpanTable()
+    table.append(_span(1, tags={"shape": [8, 3, 4]}))  # list: not packable
+    assert table.tag_set_id[0] == NONE_ID
+    assert table.peek_tags(0) == {"shape": [8, 3, 4]}
+
+
+def test_tags_promotion_is_sticky_and_isolated():
+    table = SpanTable()
+    table.append(_span(1, tags={"tracer": "gpu"}))
+    table.append(_span(2, tags={"tracer": "gpu"}))
+    tags = table.tags_of(0)
+    tags["extra"] = 1
+    assert table.tags_of(0) is tags  # same dict on re-read
+    # The sibling sharing the packed set is unaffected.
+    assert dict(table.iter_tags(1)) == {"tracer": "gpu"}
+
+
+def test_peek_does_not_promote():
+    table = SpanTable()
+    table.append(_span(1, tags={"tracer": "gpu"}))
+    table.peek_tags(0)
+    table.iter_tags(0)
+    assert table.tag_set_id[0] != NONE_ID and 0 not in table._tags
+
+
+def test_nbytes_grows_with_rows_and_promotion():
+    table = SpanTable()
+    empty = table.nbytes
+    for i in range(1, 200):
+        table.append(_span(i, tags={"tracer": "gpu"}))
+    packed = table.nbytes
+    assert packed > empty
+    for row in range(len(table)):
+        table.tags_of(row)
+    assert table.nbytes > packed  # materialized dicts are counted
+
+
+# -- views ------------------------------------------------------------------
+
+
+def test_view_writes_parent_through():
+    trace = Trace(trace_id=1)
+    trace.add(_span(1, level=Level.LAYER, start_ns=0, end_ns=100))
+    trace.add(_span(2, start_ns=10, end_ns=20))
+    view = trace.by_id()[2]
+    view.parent_id = 1
+    trace.touch_parents()
+    assert trace.table.parent_id[1] == 1
+    assert [c.span_id for c in trace.children_of(trace.by_id()[1])] == [2]
+
+
+def test_view_equality_and_span_equality():
+    trace = Trace(trace_id=3)
+    span = _span(5, tags={"a": 1})
+    trace.add(span)
+    view = trace.spans[0]
+    assert view == trace.spans[0]
+    assert view == span and span == view
+    other = _span(6)
+    trace.add(other)
+    assert view != trace.spans[1]
+    assert view != other
+
+
+def test_view_is_unhashable_like_span():
+    trace = Trace(trace_id=1)
+    trace.add(_span(1))
+    with pytest.raises(TypeError):
+        hash(trace.spans[0])
+    with pytest.raises(TypeError):
+        hash(_span(2))
+
+
+def test_to_span_detaches():
+    trace = Trace(trace_id=1)
+    trace.add(_span(1, tags={"tracer": "gpu"}))
+    detached = trace.table.to_span(0)
+    detached.tags["x"] = 1
+    detached.parent_id = 99
+    assert dict(trace.table.iter_tags(0)) == {"tracer": "gpu"}
+    assert trace.table.parent_id_of(0) is None
+
+
+# -- the span sequence ------------------------------------------------------
+
+
+def test_span_sequence_supports_list_protocol():
+    trace = Trace(trace_id=1)
+    for i in range(1, 6):
+        trace.add(_span(i))
+    seq = trace.spans
+    assert len(seq) == 5 and bool(seq)
+    assert seq[0].span_id == 1 and seq[-1].span_id == 5
+    assert [s.span_id for s in seq[1:3]] == [2, 3]
+    assert random.Random(0).choice(seq).span_id in range(1, 6)
+    with pytest.raises(IndexError):
+        seq[5]
+    assert not Trace(trace_id=2).spans
+
+
+def test_span_sequence_append_is_caught_by_index():
+    trace = Trace(trace_id=1)
+    trace.add(_span(1))
+    trace.sorted_spans()  # build index
+    trace.spans.append(_span(2, trace_id=42))  # raw append keeps trace_id
+    assert 2 in trace.by_id()
+    assert trace.by_id()[2].trace_id == 42
+
+
+# -- numpy fallback parity --------------------------------------------------
+
+
+def _query_snapshot(trace: Trace):
+    trace.invalidate_index()
+    return {
+        "sorted": [s.span_id for s in trace.sorted_spans()],
+        "by_level": {
+            lvl.name: [s.span_id for s in spans]
+            for lvl, spans in ((l, trace.at_level(l)) for l in Level)
+        },
+        "by_kind": {
+            k.value: [s.span_id for s in trace.of_kind(k)] for k in SpanKind
+        },
+        "extent": trace.span_extent_ns(),
+        "roots": [s.span_id for s in trace.roots()],
+        "gaps": [
+            (g.start_ns, g.end_ns, g.before_id, g.after_id)
+            for g in trace.gaps(Level.GPU_KERNEL, SpanKind.LAUNCH)
+        ],
+    }
+
+
+def test_pure_python_index_matches_numpy(monkeypatch):
+    import repro.tracing.index as index_mod
+
+    rng = random.Random(11)
+    trace = Trace(trace_id=1)
+    for i in range(1, 400):  # above the numpy cutover threshold
+        start = rng.randint(0, 10_000)
+        trace.add(
+            Span(
+                f"s{i}",
+                start,
+                start + rng.randint(0, 500),
+                rng.choice(list(Level)),
+                span_id=i,
+                kind=rng.choice(list(SpanKind)),
+                parent_id=rng.choice([None, rng.randint(1, 400)]),
+            )
+        )
+    accelerated = _query_snapshot(trace)
+    monkeypatch.setattr(index_mod, "_np", None)
+    fallback = _query_snapshot(trace)
+    assert fallback == accelerated
