@@ -19,8 +19,9 @@ import re
 import sys
 
 #: Benchmarks gated by default: the sweep-line vs interval-tree
-#: correlation ablation plus anything else exercising correlation.
-DEFAULT_PATTERNS = (r"sweep", r"correlation", r"reconstruction")
+#: correlation ablation plus anything else exercising correlation, and
+#: the PR 5 incremental index-maintenance path.
+DEFAULT_PATTERNS = (r"sweep", r"correlation", r"reconstruction", r"incremental")
 
 
 def load_means(path: str) -> dict[str, float]:

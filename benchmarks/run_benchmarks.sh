@@ -25,11 +25,27 @@ cd "$(dirname "$0")/.."
 OUT="BENCH_local.json"
 BASELINE=""
 PYTEST_ARGS=()
+GATE_PATTERNS=()
 while [[ $# -gt 0 ]]; do
     case "$1" in
         --compare)
             [[ $# -ge 2 ]] || { echo "--compare needs a snapshot path" >&2; exit 2; }
             BASELINE="$2"
+            shift 2
+            ;;
+        --gate-pattern)
+            # Restrict the --compare gate to these regexes (repeatable).
+            # Needed when a quick `-k` subset runs: the default gate
+            # would flag the skipped benches as missing.
+            [[ $# -ge 2 ]] || { echo "--gate-pattern needs a regex" >&2; exit 2; }
+            GATE_PATTERNS+=(--pattern "$2")
+            shift 2
+            ;;
+        --max-regression)
+            # Forwarded to the compare gate (CI uses a looser bar than
+            # the 20% local default to absorb shared-runner jitter).
+            [[ $# -ge 2 ]] || { echo "--max-regression needs a fraction" >&2; exit 2; }
+            GATE_PATTERNS+=(--max-regression "$2")
             shift 2
             ;;
         *)
@@ -59,5 +75,6 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest benchmarks/ \
 echo "wrote benchmark results to $OUT"
 
 if [[ -n "$BASELINE" ]]; then
-    python benchmarks/compare_bench.py "$BASELINE" "$OUT"
+    python benchmarks/compare_bench.py "$BASELINE" "$OUT" \
+        ${GATE_PATTERNS+"${GATE_PATTERNS[@]}"}
 fi

@@ -37,9 +37,11 @@ def _model_key(value: str) -> int | str:
     return int(value) if value.isdigit() else value
 
 
-def _add_target_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--model", required=True, type=_model_key,
-                        help="paper model ID (1-55) or name")
+def _add_target_args(
+    parser: argparse.ArgumentParser, *, model_required: bool = True
+) -> None:
+    parser.add_argument("--model", required=model_required, type=_model_key,
+                        default=None, help="paper model ID (1-55) or name")
     parser.add_argument("--system", default="Tesla_V100",
                         choices=sorted(SYSTEMS))
     parser.add_argument("--framework", default="tensorflow_like",
@@ -96,7 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     adv_p = sub.add_parser("advise",
                            help="rule-based across-stack bottleneck insights")
-    _add_target_args(adv_p)
+    _add_target_args(adv_p, model_required=False)
     adv_p.add_argument("--batch", type=int, default=1)
     adv_p.add_argument("--runs", type=int, default=1,
                        help="repetitions per profiling level")
@@ -111,6 +113,18 @@ def build_parser() -> argparse.ArgumentParser:
     adv_p.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="serve/persist the merged profile via this "
                        "on-disk store")
+    adv_p.add_argument("--from-trace", default=None, metavar="TRACE_JSON",
+                       help="run the rules over a saved `repro trace "
+                       "--output` capture instead of re-profiling "
+                       "(--model and the sweep are not needed)")
+    adv_p.add_argument("--live", action="store_true",
+                       help="stream insight updates while an "
+                       "application-level capture of the model is in "
+                       "flight (incremental engine; final report at the "
+                       "end)")
+    adv_p.add_argument("--evaluations", type=int, default=2,
+                       help="evaluations in the --live application "
+                       "capture (default 2)")
 
     diff_p = sub.add_parser(
         "diff",
@@ -291,7 +305,72 @@ def _sweep_batches(spec: str, batch: int) -> list[int]:
     return [int(b) for b in spec.split(",")]
 
 
+def _print_insight_report(report, args: argparse.Namespace) -> None:
+    if args.as_json:
+        print(json.dumps(
+            report.to_dict(min_severity=args.min_severity), indent=2
+        ))
+    else:
+        print(report.render(min_severity=args.min_severity))
+
+
+def _advise_from_trace(args: argparse.Namespace) -> int:
+    """Insights over an exported capture — no re-profiling.
+
+    Reuses the diff machinery's ``profile_from_trace`` single-run view,
+    and hands the rules the raw trace too, so the timeline rules (idle
+    bubbles etc.) run against the capture's real schedule.
+    """
+    from repro.analysis.diff.sources import profile_from_trace
+    from repro.insights import advise as run_rules
+    from repro.tracing.export import load_trace
+
+    try:
+        trace = load_trace(args.from_trace)
+    except (OSError, ValueError, KeyError) as err:
+        print(f"error: --from-trace {args.from_trace!r}: {err}",
+              file=sys.stderr)
+        return 2
+    report = run_rules(profile_from_trace(trace), trace=trace)
+    _print_insight_report(report, args)
+    return 0
+
+
+def _advise_live(pipeline, graph, args: argparse.Namespace) -> int:
+    """Follow an in-flight capture, printing one line per refresh."""
+    if args.evaluations < 1:
+        print("error: --evaluations must be at least 1", file=sys.stderr)
+        return 2
+    # With --json, stdout stays pure JSON (the machine-readable
+    # contract); progress lines go to stderr.
+    progress = sys.stderr if args.as_json else sys.stdout
+    last = None
+    for update in pipeline.advise_live(
+        graph, args.batch, evaluations=args.evaluations
+    ):
+        refreshed = ",".join(update.refreshed_rules) or "-"
+        top = next(iter(update.report), None)
+        top_text = f"{top.rule} {top.severity:.2f}" if top else "none"
+        stage = "final" if update.final else f"+{update.new_rows} rows"
+        print(f"[live] spans={update.n_spans} ({stage}) "
+              f"refreshed: {refreshed} | top: {top_text}", file=progress)
+        last = update
+    if last is None:
+        print("error: live capture produced no spans", file=sys.stderr)
+        return 1
+    if not args.as_json:
+        print()
+    _print_insight_report(last.report, args)
+    return 0
+
+
 def cmd_advise(args: argparse.Namespace) -> int:
+    if args.from_trace is not None:
+        return _advise_from_trace(args)
+    if args.model is None:
+        print("error: advise needs --model (or --from-trace)",
+              file=sys.stderr)
+        return 2
     entry = get_model(args.model)
     session = XSPSession(args.system, args.framework)
     try:
@@ -299,16 +378,13 @@ def cmd_advise(args: argparse.Namespace) -> int:
     except _StoreError:
         return 2
     pipeline = AnalysisPipeline(session, runs_per_level=args.runs, store=store)
+    if args.live:
+        return _advise_live(pipeline, entry.graph, args)
     report = pipeline.advise(
         entry.graph, args.batch,
         sweep_batches=_sweep_batches(args.sweep, args.batch),
     )
-    if args.as_json:
-        print(json.dumps(
-            report.to_dict(min_severity=args.min_severity), indent=2
-        ))
-    else:
-        print(report.render(min_severity=args.min_severity))
+    _print_insight_report(report, args)
     return 0
 
 

@@ -377,6 +377,84 @@ class AnalysisPipeline:
             rules=rules,
         )
 
+    def advise_live(
+        self,
+        graph: Graph,
+        batch: int,
+        *,
+        evaluations: int = 2,
+        rules=None,
+        config: ProfilingConfig | None = None,
+        poll_interval: float = 0.2,
+    ):
+        """Stream insight updates while a capture of ``graph`` is in flight.
+
+        Runs an application-level capture (``evaluations`` back-to-back
+        evaluations of ``graph`` at ``batch``) in a worker thread and
+        yields :class:`~repro.insights.live.LiveUpdate` objects as its
+        spans land on the tracing server: each finished evaluation is
+        re-published onto the open application timeline, the attached
+        :class:`~repro.insights.live.LiveMonitor` consumes the new rows
+        through a stream cursor, and only rules whose ingredients changed
+        since the last watermark are re-evaluated.  The last yielded
+        update (``final=True``) carries the completed capture's report.
+        """
+        import threading
+
+        from repro.insights.live import LiveMonitor
+
+        server = self.session.server
+        # Full coordinates up front: the live profile view derives its
+        # (model, system, framework, batch) identity from this metadata.
+        trace_id = server.begin_trace(
+            model=graph.name,
+            system=self.session.gpu.name,
+            framework=self.session.framework_cls.name,
+            batch=batch,
+        )
+        monitor = LiveMonitor(server, trace_id, rules=rules)
+        # Metric collection replays kernels and stretches the device
+        # timeline (Sec. III-C); live monitoring wants the real schedule.
+        config = config or ProfilingConfig(metrics=())
+        errors: list[BaseException] = []
+
+        def work() -> None:
+            try:
+                self.session.profile_application(
+                    [(graph, batch)] * evaluations,
+                    name=f"live:{graph.name}",
+                    config=config,
+                    trace_id=trace_id,
+                )
+            except BaseException as err:  # propagated to the consumer
+                errors.append(err)
+
+        worker = threading.Thread(
+            target=work, name="advise-live-capture", daemon=True
+        )
+        worker.start()
+        try:
+            while not monitor.done:
+                was_alive = worker.is_alive()
+                update = monitor.poll(timeout=poll_interval)
+                if update is not None:
+                    yield update
+                elif errors:
+                    break  # capture died without closing the trace
+                elif not was_alive:
+                    # Worker observed finished *before* an empty poll:
+                    # the trace is closed and drained, nothing left.
+                    break
+        finally:
+            worker.join(timeout=30)
+            if not monitor.done:
+                try:
+                    server.end_trace(trace_id)
+                except KeyError:
+                    pass
+        if errors:
+            raise errors[0]
+
     def _cached(self, graph: Graph, batch: int) -> ModelProfile | None:
         if self.store is None:
             return None

@@ -43,7 +43,7 @@ from repro.tracing.correlation import (
     reconstruct_parents,
 )
 from repro.tracing.server import TracingServer
-from repro.tracing.span import Level, Span
+from repro.tracing.span import Level, Span, new_span_id
 from repro.tracing.trace import Trace
 
 FRAMEWORKS: dict[str, type[Framework]] = {
@@ -276,64 +276,88 @@ class XSPSession:
         *,
         name: str = "application",
         config: ProfilingConfig | None = None,
+        trace_id: int | None = None,
     ) -> tuple[Trace, list[ProfiledRun]]:
         """Profile a whole application: several model evaluations in one trace.
 
         Sec. III-E: "Adding an application profiling level above the model
         level to measure whole applications (possibly ... using more than
         one ML model) is naturally supported by XSP as it uses distributed
-        tracing."  Each evaluation runs normally (own runtime/clock); its
-        spans are re-published, time-shifted onto one application timeline,
-        under a single APPLICATION-level span.
+        tracing."  Each evaluation runs normally (own runtime/clock); as
+        soon as it finishes, its rows are re-published time-shifted onto
+        the application timeline via the server's streaming row path —
+        a live ``TracingServer.stream`` cursor (e.g. ``repro advise
+        --live``) sees every evaluation land while later ones are still
+        running.  The single APPLICATION-level span is published last,
+        once the timeline's extent is known (its id is pre-allocated so
+        model roots can reference it throughout).
+
+        ``trace_id`` lets a caller pre-open the destination trace (and
+        attach stream cursors to it) before this method runs; by default
+        a fresh trace is begun here.
         """
         if not workload:
             raise ValueError("application workload is empty")
         config = config or ProfilingConfig()
         runs: list[ProfiledRun] = []
-        trace_id = self.server.begin_trace(application=name)
-        app_trace = self.server.get_trace(trace_id)
-        # First pass: run the evaluations and lay them out on the
-        # application timeline (per-run shift = cursor - its extent start).
-        offsets: list[int] = []
+        if trace_id is None:
+            trace_id = self.server.begin_trace(application=name)
+        else:
+            self.server.annotate_trace(trace_id, application=name)
+        app_span_id = new_span_id()
         cursor = 0
         for graph, batch in workload:
             run = self.profile(graph, batch, config)
-            lo, hi = run.trace.span_extent_ns()
-            offsets.append(cursor - lo)
-            cursor += (hi - lo) + 1_000  # 1 us gap between evaluations
             runs.append(run)
+            lo, hi = run.trace.span_extent_ns()
+            offset = cursor - lo
+            cursor += (hi - lo) + 1_000  # 1 us gap between evaluations
+            self.server.publish_rows(
+                trace_id,
+                self._shifted_rows(
+                    run.trace.table, offset, app_span_id, graph.name
+                ),
+            )
         app_span = Span(
             name=name,
             start_ns=0,
             end_ns=cursor,
             level=Level.APPLICATION,
+            span_id=app_span_id,
+            trace_id=trace_id,
             tags={"evaluations": len(workload)},
         )
-        app_trace.add(app_span)
-        # Second pass: re-publish each run's rows, time-shifted, straight
-        # from its columnar table into the application trace — no
-        # intermediate span list.
-        model_code = int(Level.MODEL)
-        for (graph, _batch), run, offset in zip(workload, runs, offsets):
-            table = run.trace.table
-            levels = table.level
-            for row in range(len(table)):
-                parent_id = table.parent_id_of(row)
-                if parent_id is None and levels[row] == model_code:
-                    parent_id = app_span.span_id
-                app_trace.add_row(
-                    name=table.name_of(row),
-                    start_ns=table.start_ns[row] + offset,
-                    end_ns=table.end_ns[row] + offset,
-                    level=levels[row],
-                    span_id=table.span_id[row],
-                    parent_id=parent_id,
-                    kind=table.kind[row],
-                    correlation_id=table.correlation_id_of(row),
-                    tags=dict(table.peek_tags(row), model=graph.name),
-                )
-        self.server.end_trace(trace_id)
+        self.server.publish(app_span)
+        app_trace = self.server.end_trace(trace_id)
         return app_trace, runs
+
+    @staticmethod
+    def _shifted_rows(
+        table, offset: int, app_span_id: int, model_name: str
+    ):
+        """One finished evaluation's rows, time-shifted, as add_row fields.
+
+        Streams straight from the run's columnar table — no intermediate
+        span list; model-level roots are re-parented under the (pending)
+        application span.
+        """
+        model_code = int(Level.MODEL)
+        levels = table.level
+        for row in range(len(table)):
+            parent_id = table.parent_id_of(row)
+            if parent_id is None and levels[row] == model_code:
+                parent_id = app_span_id
+            yield dict(
+                name=table.name_of(row),
+                start_ns=table.start_ns[row] + offset,
+                end_ns=table.end_ns[row] + offset,
+                level=levels[row],
+                span_id=table.span_id[row],
+                parent_id=parent_id,
+                kind=table.kind[row],
+                correlation_id=table.correlation_id_of(row),
+                tags=dict(table.peek_tags(row), model=model_name),
+            )
 
     def _predict(
         self,

@@ -32,14 +32,17 @@ from repro.insights.registry import (
     register,
     rule,
     rule_names,
+    rules_requiring,
     unregister,
 )
 from repro.insights.engine import (
+    IncrementalInsightEngine,
     InsightContext,
     InsightEngine,
     InsightReport,
     advise,
 )
+from repro.insights.live import LiveMonitor, LiveUpdate
 from repro.insights.rules import BUILTIN_RULES  # registers built-in rules
 from repro.insights.campaign import (
     CampaignInsights,
@@ -51,10 +54,13 @@ __all__ = [
     "BUILTIN_RULES",
     "CampaignInsights",
     "Evidence",
+    "IncrementalInsightEngine",
     "Insight",
     "InsightContext",
     "InsightEngine",
     "InsightReport",
+    "LiveMonitor",
+    "LiveUpdate",
     "Rule",
     "SystemicInsight",
     "advise",
@@ -65,6 +71,7 @@ __all__ = [
     "register",
     "rule",
     "rule_names",
+    "rules_requiring",
     "severity_label",
     "unregister",
 ]

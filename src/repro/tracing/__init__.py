@@ -20,12 +20,13 @@ from repro.tracing.span import (
 from repro.tracing.index import Gap, TraceIndex
 from repro.tracing.table import SpanTable, SpanView
 from repro.tracing.tracer import BufferingTracer, NoopTracer, Tracer
-from repro.tracing.server import TracingServer
+from repro.tracing.server import RowBatch, TraceStream, TracingServer
 from repro.tracing.trace import Trace
 from repro.tracing.interval_tree import Interval, IntervalTree
 from repro.tracing.correlation import (
     AmbiguousParentError,
     CorrelationResult,
+    LaunchExecutionState,
     correlate_launch_execution,
     reconstruct_parents,
 )
@@ -37,15 +38,18 @@ __all__ = [
     "Gap",
     "Interval",
     "IntervalTree",
+    "LaunchExecutionState",
     "Level",
     "LogEntry",
     "NoopTracer",
+    "RowBatch",
     "Span",
     "SpanKind",
     "SpanTable",
     "SpanView",
     "Trace",
     "TraceIndex",
+    "TraceStream",
     "Tracer",
     "TracingServer",
     "correlate_launch_execution",

@@ -99,7 +99,34 @@ class CorrelationResult:
         return bool(self.ambiguous)
 
 
-def correlate_launch_execution(trace: Trace) -> list[MergedKernel]:
+@dataclass
+class LaunchExecutionState:
+    """Carry-over pairing state for incremental launch/execution merging.
+
+    Holding one of these across :func:`correlate_launch_execution` calls
+    (with a rising ``since_row``) lets a growing capture be correlated in
+    amortized O(new rows): half-pairs seen in earlier increments wait
+    here for their counterparts, and cids already merged are never
+    re-emitted.
+    """
+
+    #: correlation_id -> row of a launch span still awaiting its pair.
+    launches: dict[int, int] = field(default_factory=dict)
+    #: correlation_id -> row of an execution span still awaiting its pair.
+    executions: dict[int, int] = field(default_factory=dict)
+    #: correlation ids already merged (evicted from the dicts above, so
+    #: the half-pair state stays bounded by the in-flight window, not
+    #: the capture length; also the duplicate check for merged cids).
+    merged: set[int] = field(default_factory=set)
+
+
+def correlate_launch_execution(
+    trace: Trace,
+    *,
+    since_row: int = 0,
+    to_row: int | None = None,
+    state: LaunchExecutionState | None = None,
+) -> list[MergedKernel]:
     """Pair launch/execution spans by ``correlation_id``.
 
     Execution spans inherit the launch span's parent, mirroring how XSP
@@ -107,37 +134,59 @@ def correlate_launch_execution(trace: Trace) -> list[MergedKernel]:
     function and uses the execution span to get the performance
     information".  One pass over the correlation-id/kind columns; no
     intermediate span lists.
+
+    ``since_row`` starts the scan at a row watermark and ``state``
+    carries the pairing dictionaries between calls, so correlating a
+    growing capture costs one pass over the *new* rows only.  The full
+    call (``since_row=0``, no state) returns every merged kernel sorted
+    by correlation id, exactly as before; an incremental call returns
+    only the pairs completed by the new rows.  ``to_row`` pins the
+    scan's upper bound: an incremental caller on a *live* trace must
+    pass the watermark snapshot it will record as the next
+    ``since_row``, or rows published mid-call would be scanned twice
+    (and trip the duplicate check) on the next increment.
     """
     table = trace.table
     corr = table.correlation_id
     kinds = table.kind
-    launches: dict[int, int] = {}
-    executions: dict[int, int] = {}
-    for row in range(len(table)):
+    if state is None:
+        state = LaunchExecutionState()
+    launches = state.launches
+    executions = state.executions
+    new_cids: set[int] = set()
+    stop = table.watermark if to_row is None else to_row
+    for row in range(since_row, stop):
         cid = corr[row]
         if cid == NONE_ID:
             continue
         code = kinds[row]
         if code == _LAUNCH_CODE:
-            if cid in launches:
+            if cid in launches or cid in state.merged:
                 raise ValueError(
                     f"duplicate launch span for correlation_id={cid}"
                 )
             launches[cid] = row
+            new_cids.add(cid)
         elif code == _EXECUTION_CODE:
-            if cid in executions:
+            if cid in executions or cid in state.merged:
                 raise ValueError(
                     f"duplicate execution span for correlation_id={cid}"
                 )
             executions[cid] = row
+            new_cids.add(cid)
 
     parents = table.parent_id
     merged: list[MergedKernel] = []
-    for cid, launch_row in sorted(launches.items()):
+    for cid in sorted(new_cids):
+        launch_row = launches.get(cid)
         execution_row = executions.get(cid)
-        if execution_row is None:
-            # Launch captured but activity record lost: skip (CUPTI permits this).
+        if launch_row is None or execution_row is None:
+            # Half-pair so far: a lost activity record (CUPTI permits
+            # this) or a counterpart still to arrive in a later increment.
             continue
+        del launches[cid]
+        del executions[cid]
+        state.merged.add(cid)
         launch_parent = parents[launch_row]
         merged.append(
             MergedKernel(
@@ -165,7 +214,11 @@ def _parent_level_map(levels: list[Level]) -> dict[Level, Level | None]:
 
 
 def reconstruct_parents(
-    trace: Trace, *, strict: bool = True, engine: str = "sweep"
+    trace: Trace,
+    *,
+    strict: bool = True,
+    engine: str = "sweep",
+    since_row: int = 0,
 ) -> CorrelationResult:
     """Assign parents to orphan spans via interval containment.
 
@@ -192,15 +245,31 @@ def reconstruct_parents(
     depend only on static interval data, not on assignment order), so
     their parent assignments — including which span first trips
     :class:`AmbiguousParentError` in strict mode — are identical.
+
+    ``since_row`` is the incremental watermark for a growing capture:
+    rows below it are treated as already correlated (their assignments —
+    or their legitimate rootlessness — are final and are not revisited),
+    while rows at/above it are the orphans of this increment.  All rows,
+    old and new, still serve as candidate parents.  Incremental calls
+    match a single cold correlation of the final capture whenever each
+    increment's parents arrive no later than the increment containing
+    their children — the publication order every batch-per-evaluation
+    converter in this codebase produces.  The underlying timeline
+    orderings come from the trace's incrementally-maintained index, so an
+    increment never pays a re-sort.
     """
     if engine not in ("sweep", "tree"):
         raise ValueError(f"unknown correlation engine {engine!r}")
     result = CorrelationResult(trace=trace)
     try:
         if engine == "tree":
-            _reconstruct_tree(trace, strict=strict, result=result)
+            _reconstruct_tree(
+                trace, strict=strict, result=result, since_row=since_row
+            )
         else:
-            _reconstruct_sweep(trace, strict=strict, result=result)
+            _reconstruct_sweep(
+                trace, strict=strict, result=result, since_row=since_row
+            )
     finally:
         # parent_id fields changed (possibly partially, when strict mode
         # raised); drop the trace's parent-derived indexes either way.
@@ -209,7 +278,11 @@ def reconstruct_parents(
 
 
 def _reconstruct_tree(
-    trace: Trace, *, strict: bool, result: CorrelationResult
+    trace: Trace,
+    *,
+    strict: bool,
+    result: CorrelationResult,
+    since_row: int = 0,
 ) -> None:
     """Reference engine: per-orphan containment queries on interval trees."""
     index = trace.index
@@ -236,6 +309,8 @@ def _reconstruct_tree(
     level_by_code = {int(lvl): lvl for lvl in levels}
 
     for row in index.rows_sorted():
+        if row < since_row:
+            continue  # settled in an earlier increment
         if parents[row] != NONE_ID:
             continue
         if kinds[row] == _EXECUTION_CODE:
@@ -262,7 +337,11 @@ def _reconstruct_tree(
 
 
 def _reconstruct_sweep(
-    trace: Trace, *, strict: bool, result: CorrelationResult
+    trace: Trace,
+    *,
+    strict: bool,
+    result: CorrelationResult,
+    since_row: int = 0,
 ) -> None:
     """Hot-path engine: one sweep over start-sorted rows.
 
@@ -323,6 +402,8 @@ def _reconstruct_sweep(
     }
 
     for row in index.rows_sorted():
+        if row < since_row:
+            continue  # settled in an earlier increment
         if parents[row] != NONE_ID:
             continue
         if kinds[row] == _EXECUTION_CODE:

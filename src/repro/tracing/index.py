@@ -22,23 +22,38 @@ Two layers of indexes exist:
   :class:`~repro.tracing.table.SpanView` flyweights from the row indexes,
   lazily and cached per family.
 
-Invalidation model
-------------------
-Indexes are keyed on span *membership* (the identity and length of the
-trace's table): :meth:`Trace.add`/:meth:`Trace.extend` drop the index,
-and a direct ``trace.spans.append(...)`` is caught by the length check the
-next time the index is consulted.  Rows are immutable for indexing
-purposes with one exception — ``parent_id``, which the offline
-correlation pass assigns after capture.  The parent-derived indexes
-(children, roots) therefore live behind a separate epoch that
+Maintenance model (high-water mark, not invalidation)
+-----------------------------------------------------
+An index covers one *prefix* of its table — ``covered`` rows, the
+high-water mark it was last synchronized to.  Appending spans does **not**
+drop the index: the next query calls :meth:`TraceIndex.advance`, which
+merge-sorts the pending tail of new rows into every structure already
+built (orderings, partitions, id map, extent, gap folds) instead of
+rebuilding the world.  The merged state is, structure for structure,
+identical to a cold rebuild over the grown table (fuzzed by
+``tests/tracing/test_span_table.py``); structures not yet built simply
+build lazily over the full covered prefix later.  Rows remain immutable
+for indexing purposes with one exception — ``parent_id``, which the
+offline correlation pass assigns after capture.  The parent-derived
+indexes (children, roots) live behind the narrower epoch that
 :func:`repro.tracing.correlation.reconstruct_parents` and
 :func:`~repro.tracing.correlation.correlate_launch_execution` bump via
-:meth:`Trace.touch_parents`.  Code that mutates ``span.parent_id`` by hand
-after querying a trace must do the same.
+:meth:`Trace.touch_parents`; an append also drops them (a new span id can
+resolve a previously dangling parent).  Code that mutates
+``span.parent_id`` by hand after querying a trace must call
+``touch_parents`` as before.
+
+Cold builders read bounded snapshot copies of the columns (``col[:n]``)
+rather than zero-copy buffer exports: a live (still-growing) table may be
+appended to by the capture thread while a monitor advances the index, and
+holding a buffer export across that append would raise ``BufferError`` in
+the writer.  The copies are single C-level ``memcpy`` calls — atomic
+under the GIL and noise next to the sort they feed.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -74,22 +89,31 @@ class Gap:
         return self.duration_ns / 1e6
 
 
-def _compute_gaps(table: SpanTable, rows: List[int]) -> List[Gap]:
-    """Idle intervals of a timeline-sorted row list, one merged pass.
+def _fold_gaps(
+    table: SpanTable,
+    rows: List[int],
+    gaps: List[Gap],
+    frontier: Optional[int],
+) -> Optional[int]:
+    """Fold timeline-sorted ``rows`` into ``gaps``; returns the frontier row.
 
     Overlapping spans are coalesced on the fly (track the running max end
     and the row that achieves it), so a "gap" is an interval covered by
     *no* span at all — exactly the device-idle bubbles of a GPU timeline.
+    Passing the frontier row returned by a previous fold continues that
+    fold — the incremental gap-maintenance path — and is only valid when
+    every new row sorts at/after the rows already folded.
     """
-    gaps: List[Gap] = []
-    if not rows:
-        return gaps
     starts = table.start_ns
     ends = table.end_ns
     ids = table.span_id
-    frontier = rows[0]
+    it = iter(rows)
+    if frontier is None:
+        frontier = next(it, None)
+        if frontier is None:
+            return None
     frontier_end = ends[frontier]
-    for row in rows[1:]:
+    for row in it:
         start = starts[row]
         if start > frontier_end:
             gaps.append(
@@ -104,23 +128,33 @@ def _compute_gaps(table: SpanTable, rows: List[int]) -> List[Gap]:
         if end > frontier_end:
             frontier = row
             frontier_end = end
-    return gaps
+    return frontier
 
 
-def _timeline_rows(table: SpanTable, rows: List[int] | None = None) -> List[int]:
+def _timeline_rows(
+    table: SpanTable,
+    rows: List[int] | None = None,
+    *,
+    n: int | None = None,
+) -> List[int]:
     """Row indices by (start, -duration) — parents before children.
 
     Two stable passes (end desc, then start asc) over C-level keys: equal
     starts keep the end-descending order, which is exactly
-    duration-descending; full ties keep row (publication) order.
+    duration-descending; full ties keep row (publication) order.  ``n``
+    bounds the build to the table's first ``n`` rows (the covered prefix
+    of a still-growing capture).
     """
     if rows is None:
-        if _np is not None and len(table) > 64:
-            starts = _np.frombuffer(table.start_ns, dtype=_np.int64)
-            ends = _np.frombuffer(table.end_ns, dtype=_np.int64)
+        count = len(table) if n is None else n
+        if _np is not None and count > 64:
+            # Bounded snapshot copies, not zero-copy exports: see the
+            # module docstring's live-table note.
+            starts = _np.frombuffer(table.start_ns[:count], dtype=_np.int64)
+            ends = _np.frombuffer(table.end_ns[:count], dtype=_np.int64)
             # lexsort is stable and sorts by the *last* key first.
             return _np.lexsort((-ends, starts)).tolist()
-        rows = list(range(len(table)))
+        rows = list(range(count))
         out = rows
     else:
         out = list(rows)
@@ -129,14 +163,49 @@ def _timeline_rows(table: SpanTable, rows: List[int] | None = None) -> List[int]
     return out
 
 
+def _merge_timeline(
+    table: SpanTable, base: List[int], tail: List[int]
+) -> None:
+    """Merge timeline-sorted ``tail`` rows into sorted ``base``, in place.
+
+    Stable with ``base`` winning ties: tail rows are always newer
+    (higher row indices), so the result is element-for-element identical
+    to a cold stable sort of the union.  Three regimes: pure append when
+    the tail starts at/after the base's last key (the streaming common
+    case, O(k)); per-row bisect insertion for small tails (O(k log n)
+    compares + C-level memmoves); otherwise one stable timsort over the
+    concatenation, which gallop-merges the two pre-sorted runs.
+    """
+    starts = table.start_ns
+    ends = table.end_ns
+    if not tail:
+        return
+    if not base:
+        base.extend(tail)
+        return
+    last, first = base[-1], tail[0]
+    if (starts[last], -ends[last]) <= (starts[first], -ends[first]):
+        base.extend(tail)
+        return
+    key = lambda r: (starts[r], -ends[r])  # noqa: E731 - local sort key
+    if len(tail) * 16 < len(base):
+        for row in tail:
+            base.insert(bisect_right(base, key(row), key=key), row)
+        return
+    base.extend(tail)
+    base.sort(key=key)
+
+
 class TraceIndex:
-    """Indexes over one snapshot of a trace's span table.
+    """Indexes over the covered prefix of a trace's span table.
 
     All builders are lazy: the first query of each family pays the build
-    cost, subsequent queries are dictionary/list lookups.  The containers
-    returned by accessors are the internal ones — :class:`Trace` copies
-    them before handing them to callers so the cached state can never be
-    corrupted from outside.
+    cost, subsequent queries are dictionary/list lookups.  When the table
+    grows, :meth:`advance` merges the new tail into every structure
+    already built instead of discarding anything (see the module
+    docstring).  The containers returned by accessors are the internal
+    ones — :class:`Trace` copies them before handing them to callers so
+    the cached state can never be corrupted from outside.
     """
 
     __slots__ = (
@@ -150,6 +219,7 @@ class TraceIndex:
         "_extent",
         "_levels",
         "_gaps",
+        "_gap_state",
         "_children_rows",
         "_root_rows",
         "_sorted_views",
@@ -161,9 +231,9 @@ class TraceIndex:
         "_roots_views",
     )
 
-    def __init__(self, table: SpanTable) -> None:
+    def __init__(self, table: SpanTable, n: int | None = None) -> None:
         self.table = table
-        self._n = len(table)
+        self._n = len(table) if n is None else n
         # row-level caches
         self._rows_sorted: Optional[List[int]] = None
         self._level_rows: Optional[Dict[Level, List[int]]] = None
@@ -173,6 +243,11 @@ class TraceIndex:
         self._extent: Optional[Tuple[int, int]] = None
         self._levels: Optional[List[Level]] = None
         self._gaps: Dict[Tuple[Level, Optional[SpanKind]], List[Gap]] = {}
+        # Per-(level, kind) fold continuation: (last sort key, frontier
+        # row) of the rows already folded into the cached gap list.
+        self._gap_state: Dict[
+            Tuple[Level, Optional[SpanKind]], Tuple[Tuple[int, int], int]
+        ] = {}
         self._children_rows: Optional[Dict[Optional[int], List[int]]] = None
         self._root_rows: Optional[List[int]] = None
         # view-level caches (materialized lazily from the row level)
@@ -185,8 +260,13 @@ class TraceIndex:
         self._roots_views: Optional[List[SpanView]] = None
 
     # -- cache validity ---------------------------------------------------
+    @property
+    def covered(self) -> int:
+        """Number of table rows this index currently describes."""
+        return self._n
+
     def fresh_for(self, table: SpanTable) -> bool:
-        """True while this index still describes ``table``'s membership."""
+        """True while this index fully covers ``table``'s membership."""
         return self.table is table and self._n == len(table)
 
     def invalidate_parents(self) -> None:
@@ -196,11 +276,144 @@ class TraceIndex:
         self._children_views = None
         self._roots_views = None
 
+    def advance(self, to_n: int | None = None) -> int:
+        """Merge rows ``[covered, to_n)`` into every built structure.
+
+        The incremental-maintenance hot path: instead of rebuilding, the
+        pending tail is appended to the membership partitions, written
+        into the id map, merge-sorted into the timeline orderings, and
+        folded into the gap caches — each result identical to a cold
+        rebuild over the grown prefix.  Structures that were never built
+        stay unbuilt (they build lazily over the full prefix later).
+        Parent-derived indexes and the materialized view caches are
+        dropped: a new span id can resolve a dangling parent, and view
+        lists re-materialize cheaply from the maintained row lists.
+        Returns the number of rows absorbed.
+        """
+        table = self.table
+        new_n = len(table) if to_n is None else to_n
+        old_n = self._n
+        if new_n <= old_n:
+            return 0
+        tail = range(old_n, new_n)
+        starts = table.start_ns
+        ends = table.end_ns
+        levels_col = table.level
+
+        if self._level_rows is not None:
+            buckets = self._level_rows
+            for row in tail:
+                level = Level(levels_col[row])
+                try:
+                    buckets[level].append(row)
+                except KeyError:
+                    buckets[level] = [row]
+        if self._kind_rows is not None:
+            buckets_k = self._kind_rows
+            kinds_col = table.kind
+            for row in tail:
+                kind = KINDS[kinds_col[row]]
+                try:
+                    buckets_k[kind].append(row)
+                except KeyError:
+                    buckets_k[kind] = [row]
+        if self._row_by_id is not None:
+            ids = table.span_id
+            by_id = self._row_by_id
+            for row in tail:
+                by_id[ids[row]] = row
+        if self._extent is not None:
+            lo = min(starts[r] for r in tail)
+            hi = max(ends[r] for r in tail)
+            if old_n == 0:
+                self._extent = (lo, hi)
+            else:
+                cur_lo, cur_hi = self._extent
+                self._extent = (min(cur_lo, lo), max(cur_hi, hi))
+        if self._levels is not None:
+            fresh = {Level(levels_col[r]) for r in tail}
+            if not fresh.issubset(self._levels):
+                self._levels = sorted(fresh.union(self._levels))
+
+        # Timeline orderings and gap folds share one sorted tail.
+        if (
+            self._rows_sorted is not None
+            or self._level_rows_sorted
+            or self._gaps
+        ):
+            tail_sorted = _timeline_rows(table, list(tail))
+            if self._rows_sorted is not None:
+                _merge_timeline(table, self._rows_sorted, tail_sorted)
+            level_tails: Dict[Level, List[int]] = {}
+            for row in tail_sorted:
+                level = Level(levels_col[row])
+                try:
+                    level_tails[level].append(row)
+                except KeyError:
+                    level_tails[level] = [row]
+            for level, cached in self._level_rows_sorted.items():
+                lt = level_tails.get(level)
+                if lt:
+                    _merge_timeline(table, cached, lt)
+            self._advance_gaps(level_tails)
+
+        # A new span id can turn an existing "root" into a child, so the
+        # parent-derived indexes (and all view materializations) reset.
+        self.invalidate_parents()
+        self._sorted_views = None
+        self._by_level_views = None
+        self._by_level_sorted_views.clear()
+        self._by_kind_views = None
+        self._by_id_views = None
+        self._n = new_n
+        return new_n - old_n
+
+    def _advance_gaps(self, level_tails: Dict[Level, List[int]]) -> None:
+        """Fold new rows into the cached gap lists, key by key.
+
+        Rows arriving in timeline order continue the stored fold in
+        O(tail); an out-of-order arrival (a span sorting before rows
+        already folded) drops that key's cache, which then rebuilds
+        lazily — and only as O(m) over the already-merged ordering, never
+        a re-sort.
+        """
+        if not self._gaps:
+            return
+        table = self.table
+        starts = table.start_ns
+        ends = table.end_ns
+        kinds_col = table.kind
+        for gap_key in list(self._gaps):
+            level, kind = gap_key
+            lk_tail = level_tails.get(level, [])
+            if kind is not None:
+                code = _KIND_CODE[kind]
+                lk_tail = [r for r in lk_tail if kinds_col[r] == code]
+            if not lk_tail:
+                continue
+            state = self._gap_state.get(gap_key)
+            frontier: Optional[int] = None
+            if state is not None:
+                last_key, frontier = state
+                first = lk_tail[0]
+                if (starts[first], -ends[first]) < last_key:
+                    del self._gaps[gap_key]
+                    del self._gap_state[gap_key]
+                    continue
+            frontier = _fold_gaps(
+                table, lk_tail, self._gaps[gap_key], frontier
+            )
+            tail_last = lk_tail[-1]
+            self._gap_state[gap_key] = (
+                (starts[tail_last], -ends[tail_last]),
+                frontier,
+            )
+
     # -- row-level indexes (the hot path) ---------------------------------
     def rows_sorted(self) -> List[int]:
         """Row indices in timeline order (start asc, duration desc)."""
         if self._rows_sorted is None:
-            self._rows_sorted = _timeline_rows(self.table)
+            self._rows_sorted = _timeline_rows(self.table, n=self._n)
         return self._rows_sorted
 
     def level_rows(self) -> Dict[Level, List[int]]:
@@ -209,13 +422,15 @@ class TraceIndex:
             table = self.table
             buckets: Dict[Level, List[int]] = {}
             if _np is not None and self._n > 64:
-                codes = _np.frombuffer(table.level, dtype=_np.int8)
+                codes = _np.frombuffer(
+                    table.level[: self._n], dtype=_np.int8
+                )
                 for code in _np.unique(codes).tolist():
                     buckets[Level(code)] = _np.nonzero(codes == code)[
                         0
                     ].tolist()
             else:
-                for row, code in enumerate(table.level):
+                for row, code in enumerate(table.level[: self._n]):
                     level = Level(code)
                     try:
                         buckets[level].append(row)
@@ -237,7 +452,7 @@ class TraceIndex:
             table = self.table
             buckets: Dict[SpanKind, List[int]] = {}
             if _np is not None and self._n > 64:
-                codes = _np.frombuffer(table.kind, dtype=_np.int8)
+                codes = _np.frombuffer(table.kind[: self._n], dtype=_np.int8)
                 for code in _np.unique(codes).tolist():
                     buckets[KINDS[code]] = _np.nonzero(codes == code)[
                         0
@@ -271,11 +486,18 @@ class TraceIndex:
             if self._n == 0:
                 self._extent = (0, 0)
             elif _np is not None and self._n > 64:
-                starts = _np.frombuffer(self.table.start_ns, dtype=_np.int64)
-                ends = _np.frombuffer(self.table.end_ns, dtype=_np.int64)
+                starts = _np.frombuffer(
+                    self.table.start_ns[: self._n], dtype=_np.int64
+                )
+                ends = _np.frombuffer(
+                    self.table.end_ns[: self._n], dtype=_np.int64
+                )
                 self._extent = (int(starts.min()), int(ends.max()))
             else:
-                self._extent = (min(self.table.start_ns), max(self.table.end_ns))
+                self._extent = (
+                    min(self.table.start_ns[: self._n]),
+                    max(self.table.end_ns[: self._n]),
+                )
         return self._extent
 
     def level_extent_ns(
@@ -314,8 +536,17 @@ class TraceIndex:
         key = (level, kind)
         cached = self._gaps.get(key)
         if cached is None:
-            cached = _compute_gaps(self.table, self._level_kind_rows(level, kind))
+            rows = self._level_kind_rows(level, kind)
+            cached = []
+            frontier = _fold_gaps(self.table, rows, cached, None)
             self._gaps[key] = cached
+            if rows:
+                last = rows[-1]
+                table = self.table
+                self._gap_state[key] = (
+                    (table.start_ns[last], -table.end_ns[last]),
+                    frontier,
+                )
         return cached
 
     # -- parent-derived row indexes (see the invalidation model above) ----

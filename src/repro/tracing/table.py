@@ -92,6 +92,7 @@ class SpanTable:
         "_tag_pool_ids",
         "_tags",
         "_logs",
+        "_complete",
     )
 
     def __init__(self) -> None:
@@ -116,6 +117,8 @@ class SpanTable:
         # Sparse side-stores (materialized tags / structured logs).
         self._tags: dict[int, dict[str, Any]] = {}
         self._logs: dict[int, list[LogEntry]] = {}
+        # High-water mark of fully-appended rows (see `watermark`).
+        self._complete = 0
 
     # -- ingest -----------------------------------------------------------
     def append(self, span: Span) -> int:
@@ -179,6 +182,10 @@ class SpanTable:
             self._store_tags(row, tags)
         if logs:
             self._logs[row] = list(logs)
+        # Published last: a concurrent reader that observes the new
+        # watermark is guaranteed every column (and side-store) of the
+        # row is in place.
+        self._complete = row + 1
         return row
 
     def _store_tags(self, row: int, tags: Mapping[str, Any]) -> None:
@@ -200,6 +207,19 @@ class SpanTable:
     # -- size -------------------------------------------------------------
     def __len__(self) -> int:
         return len(self.span_id)
+
+    @property
+    def watermark(self) -> int:
+        """Count of fully-appended rows — the streaming-read bound.
+
+        Bumped as the last step of every ``append_row``, so rows below
+        the watermark are complete across all columns and side-stores
+        even while another thread is mid-append (appends themselves are
+        serialized by the tracing server's lock).  Index maintenance and
+        stream cursors advance to this mark, never to a raw column
+        length, which may momentarily include a half-written row.
+        """
+        return self._complete
 
     @property
     def nbytes(self) -> int:

@@ -12,10 +12,15 @@ yields lightweight :class:`~repro.tracing.table.SpanView` flyweights bound
 to the table's rows.
 
 Queries are served by a lazily-built :class:`~repro.tracing.index.TraceIndex`
-(index once, query many): the first query after a mutation pays one
-O(n log n) build, every later query is a lookup.  Mutating methods
-invalidate the index; code that assigns ``span.parent_id`` by hand after
-querying must call :meth:`Trace.touch_parents`.
+(index once, query many): the first query pays one O(n log n) build,
+every later query is a lookup.  Appending spans does **not** invalidate
+the index — the next query *advances* it, merge-sorting the pending tail
+of new rows into the built structures (the no-rebuild-on-append rule;
+see the index module's maintenance model).  The advance target is the
+table's :attr:`~repro.tracing.table.SpanTable.watermark` of completed
+rows, which is what makes an open, still-growing capture queryable
+mid-flight.  Code that assigns ``span.parent_id`` by hand after querying
+must still call :meth:`Trace.touch_parents`.
 """
 
 from __future__ import annotations
@@ -73,7 +78,7 @@ class SpanSequence:
 class Trace:
     """An ordered collection of spans sharing a ``trace_id``."""
 
-    __slots__ = ("trace_id", "table", "metadata", "_index")
+    __slots__ = ("trace_id", "table", "metadata", "closed", "_index")
 
     def __init__(
         self,
@@ -84,6 +89,9 @@ class Trace:
         self.trace_id = trace_id
         self.table = SpanTable()
         self.metadata: dict[str, Any] = metadata if metadata is not None else {}
+        #: Set by the tracing server when the capture ends; stream
+        #: cursors use it to know no further rows will arrive.
+        self.closed = False
         self._index: TraceIndex | None = None
         if spans is not None:
             self.extend(spans)
@@ -92,7 +100,6 @@ class Trace:
     def add(self, span: Span) -> None:
         span.trace_id = self.trace_id
         self.table.append(span)
-        self._index = None
 
     def extend(self, spans: Iterable[Span]) -> None:
         for s in spans:
@@ -105,22 +112,32 @@ class Trace:
         with this trace's id.  Returns the new row index.
         """
         fields["trace_id"] = self.trace_id
-        row = self.table.append_row(**fields)
-        self._index = None
-        return row
+        return self.table.append_row(**fields)
 
     # -- index lifecycle --------------------------------------------------
     @property
+    def watermark(self) -> int:
+        """Rows visible to queries: the table's completed-append mark."""
+        return self.table.watermark
+
+    @property
     def index(self) -> TraceIndex:
-        """The current (lazily rebuilt) index over this trace's spans."""
+        """The current index, advanced (never rebuilt) over new appends."""
         idx = self._index
-        if idx is None or not idx.fresh_for(self.table):
-            idx = TraceIndex(self.table)
+        if idx is None or idx.table is not self.table:
+            idx = TraceIndex(self.table, n=self.table.watermark)
             self._index = idx
+        elif idx.covered < self.table.watermark:
+            idx.advance(self.table.watermark)
         return idx
 
     def invalidate_index(self) -> None:
-        """Force a full index rebuild on the next query."""
+        """Force a full cold index rebuild on the next query.
+
+        Not needed for appends (the index advances itself); kept as the
+        escape hatch for out-of-band table surgery and as the reference
+        path the incremental-maintenance fuzz tests compare against.
+        """
         self._index = None
 
     def touch_parents(self) -> None:
@@ -134,7 +151,9 @@ class Trace:
         return SpanSequence(self.table)
 
     def __len__(self) -> int:
-        return len(self.table)
+        # The completed-append mark, not the raw column length: equal in
+        # every single-threaded flow, and the safe count mid-capture.
+        return self.table.watermark
 
     def __iter__(self) -> Iterator[SpanView]:
         return self.table.views()

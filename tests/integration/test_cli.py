@@ -133,6 +133,55 @@ def test_advise_min_severity_filters(capsys):
     assert "below severity 0.99" in out or "no insights" in out
 
 
+def test_advise_from_trace(tmp_path, capsys):
+    """Satellite: insights straight from a saved `repro trace` capture —
+    no re-profiling, trace rules included."""
+    capture = tmp_path / "capture.json"
+    assert main(["trace", "--model", "53", "--batch", "1",
+                 "--output", str(capture)]) == 0
+    capsys.readouterr()
+    assert main(["advise", "--from-trace", str(capture)]) == 0
+    out = capsys.readouterr().out
+    assert "XSP insights: DeepLabv3_MobileNet_v2" in out
+    assert "gpu-idle-bubbles" in out  # a trace-requiring rule ran
+    # Sweep rules are legitimately skipped (no sweep in a capture).
+    assert "batch-scaling-knee (needs sweep)" in out
+
+
+def test_advise_from_trace_json(tmp_path, capsys):
+    import json as jsonlib
+
+    capture = tmp_path / "capture.json"
+    assert main(["trace", "--model", "53", "--batch", "1",
+                 "--output", str(capture)]) == 0
+    capsys.readouterr()
+    assert main(["advise", "--from-trace", str(capture), "--json"]) == 0
+    data = jsonlib.loads(capsys.readouterr().out)
+    assert data["model"] == "DeepLabv3_MobileNet_v2"
+    assert {i["rule"] for i in data["insights"]}
+
+
+def test_advise_from_trace_rejects_non_trace(tmp_path, capsys):
+    bogus = tmp_path / "bogus.json"
+    bogus.write_text("{}")
+    assert main(["advise", "--from-trace", str(bogus)]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_advise_requires_model_or_trace(capsys):
+    assert main(["advise", "--batch", "1"]) == 2
+    assert "--model" in capsys.readouterr().err
+
+
+def test_advise_live_streams_updates(capsys):
+    assert main(["advise", "--model", "53", "--batch", "1", "--live",
+                 "--evaluations", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "[live]" in out
+    assert "(final)" in out
+    assert "XSP insights" in out  # the closing full report
+
+
 def test_advise_cache_dir_roundtrip(tmp_path, capsys):
     cache = str(tmp_path / "cache")
     argv = ["advise", "--model", "53", "--batch", "1", "--sweep", "none",

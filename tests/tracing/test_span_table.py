@@ -251,3 +251,133 @@ def test_pure_python_index_matches_numpy(monkeypatch):
     monkeypatch.setattr(index_mod, "_np", None)
     fallback = _query_snapshot(trace)
     assert fallback == accelerated
+
+
+# -- incremental maintenance == cold rebuild (fuzz) -------------------------
+
+
+def _live_snapshot(trace: Trace):
+    """Full query-family snapshot *without* dropping the live index."""
+    index = trace.index
+    return {
+        "sorted": [trace.table.span_id[r] for r in index.rows_sorted()],
+        "level_rows": {
+            lvl: list(rows) for lvl, rows in index.level_rows().items()
+        },
+        "level_sorted": {
+            lvl: index.level_rows_sorted(lvl)[:]
+            for lvl in index.levels_present()
+        },
+        "kind_rows": {
+            k: list(rows) for k, rows in index.kind_rows().items()
+        },
+        "row_by_id": dict(index.row_by_id()),
+        "extent": index.extent_ns(),
+        "levels": index.levels_present()[:],
+        "gaps": {
+            (lvl, kind): [
+                (g.start_ns, g.end_ns, g.before_id, g.after_id)
+                for g in index.gaps(lvl, kind)
+            ]
+            for lvl in (Level.GPU_KERNEL, Level.LAYER)
+            for kind in (None, SpanKind.EXECUTION)
+        },
+        "children": {
+            k: list(v) for k, v in index.children_rows().items()
+        },
+        "roots": index.root_rows()[:],
+    }
+
+
+def _fuzz_incremental_maintenance(seed: int) -> None:
+    """Random interleavings of add / add_row / publish_many / queries /
+    touch_parents; after every mutation burst the live (incrementally
+    advanced) index must answer every query family exactly like a cold
+    rebuild of the same trace."""
+    from repro.tracing import TracingServer
+
+    rng = random.Random(seed)
+    server = TracingServer()
+    tid = server.begin_trace()
+    trace = server.get_trace(tid)
+    next_id = 1
+
+    def random_span():
+        nonlocal next_id
+        start = rng.randint(0, 20_000)
+        span = Span(
+            f"op{rng.randint(0, 3)}",
+            start,
+            start + rng.randint(0, 800),
+            rng.choice(list(Level)),
+            span_id=next_id,
+            kind=rng.choice(list(SpanKind)),
+            parent_id=rng.choice([None, rng.randint(1, 60)]),
+            correlation_id=rng.choice([None, next_id]),
+            tags=rng.choice([None, {"tracer": "gpu"}, {"idx": next_id}]),
+        )
+        next_id += 1
+        return span
+
+    for step in range(120):
+        op = rng.randrange(5)
+        if op == 0:
+            trace.add(random_span())
+        elif op == 1:
+            span = random_span()
+            trace.add_row(
+                name=span.name,
+                start_ns=span.start_ns,
+                end_ns=span.end_ns,
+                level=span.level,
+                span_id=span.span_id,
+                kind=span.kind,
+                parent_id=span.parent_id,
+                correlation_id=span.correlation_id,
+            )
+        elif op == 2:
+            server.publish_many(
+                random_span() for _ in range(rng.randint(1, 12))
+            )
+        elif op == 3 and len(trace) > 0:
+            # Query a random family to force structures live mid-growth.
+            rng.choice(
+                (
+                    trace.sorted_spans,
+                    trace.roots,
+                    trace.by_id,
+                    trace.span_extent_ns,
+                    lambda: trace.gaps(Level.GPU_KERNEL, SpanKind.EXECUTION),
+                    lambda: trace.at_level(Level.LAYER),
+                )
+            )()
+        elif op == 4 and len(trace) > 0:
+            # Post-hoc parent edit through a view + touch_parents.
+            row = rng.randrange(len(trace))
+            view = trace.spans[row]
+            view.parent_id = rng.choice([None, rng.randint(1, 60)])
+            trace.touch_parents()
+        if step % 13 == 0 and len(trace) > 0:
+            live = _live_snapshot(trace)
+            trace.invalidate_index()
+            assert live == _live_snapshot(trace), (
+                f"incremental != cold at seed={seed} step={step}"
+            )
+    live = _live_snapshot(trace)
+    trace.invalidate_index()
+    assert live == _live_snapshot(trace)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_incremental_maintenance_equals_cold_rebuild(seed):
+    _fuzz_incremental_maintenance(seed)
+
+
+@pytest.mark.parametrize("seed", range(6, 10))
+def test_incremental_maintenance_equals_cold_rebuild_pure_python(
+    seed, monkeypatch
+):
+    import repro.tracing.index as index_mod
+
+    monkeypatch.setattr(index_mod, "_np", None)
+    _fuzz_incremental_maintenance(seed)
